@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race bench experiments experiments-paper-scale clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every figure and table of the paper at laptop scale (~1 min).
+experiments:
+	$(GO) run ./cmd/boxbench -exp all
+
+# The paper's own workload sizes (2M-element base document; hours, the
+# naive schemes dominate).
+experiments-paper-scale:
+	$(GO) run ./cmd/boxbench -exp all -scale 100
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,345 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 7), one benchmark per artifact. The primary metric
+// is block I/Os per operation (io/insert, io/lookup), reported alongside
+// wall time; the paper's plots are the per-scheme sub-benchmark rows.
+//
+// The workload sizes follow the laptop-scale default of internal/bench
+// (1/100 of the paper's); run cmd/boxbench with -scale for larger runs.
+package boxes
+
+import (
+	"fmt"
+	"testing"
+
+	"boxes/internal/bench"
+	"boxes/internal/order"
+	"boxes/internal/reflog"
+	"boxes/internal/wbox"
+	"boxes/internal/xmlgen"
+)
+
+func benchConfig() bench.Config { return bench.Default() }
+
+// runUpdateBench executes one insertion workload for one scheme per
+// b.N iteration, reporting amortized and tail I/O costs.
+func runUpdateBench(b *testing.B, spec bench.SchemeSpec, cfg bench.Config, workload func(order.Labeler, *bench.Recorder) error) {
+	b.Helper()
+	var avg, max float64
+	var ops int
+	for i := 0; i < b.N; i++ {
+		l, store, err := spec.New(cfg.BlockSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec := bench.NewRecorder(store)
+		if err := workload(l, rec); err != nil {
+			b.Fatal(err)
+		}
+		avg = rec.Avg()
+		max = float64(rec.Max())
+		ops = rec.N()
+	}
+	b.ReportMetric(avg, "io/insert")
+	b.ReportMetric(max, "maxio")
+	b.ReportMetric(float64(ops), "inserts")
+}
+
+// BenchmarkFig5ConcentratedUpdateCost regenerates Figure 5: amortized
+// update cost under the concentrated (adversarial) insertion sequence.
+func BenchmarkFig5ConcentratedUpdateCost(b *testing.B) {
+	cfg := benchConfig()
+	for _, spec := range bench.UpdateSchemes(cfg.NaiveKs) {
+		b.Run(spec.Name, func(b *testing.B) {
+			runUpdateBench(b, spec, cfg, func(l order.Labeler, rec *bench.Recorder) error {
+				return bench.Concentrated(l, rec, cfg.BaseElems, cfg.InsertElems)
+			})
+		})
+	}
+}
+
+// BenchmarkFig6ConcentratedDistribution regenerates Figure 6: the
+// distribution of individual insertion costs under concentrated insertion
+// (reported as the 90th/99th percentile and maximum cost).
+func BenchmarkFig6ConcentratedDistribution(b *testing.B) {
+	cfg := benchConfig()
+	for _, spec := range bench.UpdateSchemes(cfg.NaiveKs) {
+		b.Run(spec.Name, func(b *testing.B) {
+			var p90, p99, max float64
+			for i := 0; i < b.N; i++ {
+				l, store, err := spec.New(cfg.BlockSize)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rec := bench.NewRecorder(store)
+				if err := bench.Concentrated(l, rec, cfg.BaseElems, cfg.InsertElems); err != nil {
+					b.Fatal(err)
+				}
+				dist := rec.CCDF()
+				p90 = costAtFraction(dist, 0.10)
+				p99 = costAtFraction(dist, 0.01)
+				max = float64(rec.Max())
+			}
+			b.ReportMetric(p90, "io_p90")
+			b.ReportMetric(p99, "io_p99")
+			b.ReportMetric(max, "io_max")
+		})
+	}
+}
+
+// costAtFraction returns the smallest cost with at most frac of the
+// operations above it.
+func costAtFraction(dist []bench.CCDFPoint, frac float64) float64 {
+	for _, p := range dist {
+		if p.FracAbove <= frac {
+			return float64(p.Cost)
+		}
+	}
+	if len(dist) == 0 {
+		return 0
+	}
+	return float64(dist[len(dist)-1].Cost)
+}
+
+// BenchmarkFig7ScatteredUpdateCost regenerates Figure 7: amortized update
+// cost under evenly scattered insertions (the naive schemes' best case).
+func BenchmarkFig7ScatteredUpdateCost(b *testing.B) {
+	cfg := benchConfig()
+	ks := append([]int{1}, cfg.NaiveKs...)
+	for _, spec := range bench.UpdateSchemes(ks) {
+		b.Run(spec.Name, func(b *testing.B) {
+			runUpdateBench(b, spec, cfg, func(l order.Labeler, rec *bench.Recorder) error {
+				return bench.Scattered(l, rec, cfg.BaseElems, cfg.InsertElems)
+			})
+		})
+	}
+}
+
+// BenchmarkFig8XMarkUpdateCost regenerates Figure 8: amortized update cost
+// while an XMark document builds up element-at-a-time in document order.
+func BenchmarkFig8XMarkUpdateCost(b *testing.B) {
+	cfg := benchConfig()
+	for _, spec := range bench.UpdateSchemes(cfg.NaiveKs) {
+		b.Run(spec.Name, func(b *testing.B) {
+			runUpdateBench(b, spec, cfg, func(l order.Labeler, rec *bench.Recorder) error {
+				rec.Skip = cfg.XMarkPrime
+				return bench.XMarkDocOrder(l, rec, cfg.XMarkElems, cfg.Seed)
+			})
+		})
+	}
+}
+
+// BenchmarkFig9XMarkDistribution regenerates Figure 9: the cost
+// distribution of the XMark build-up.
+func BenchmarkFig9XMarkDistribution(b *testing.B) {
+	cfg := benchConfig()
+	for _, spec := range bench.UpdateSchemes(cfg.NaiveKs) {
+		b.Run(spec.Name, func(b *testing.B) {
+			var p90, p99, max float64
+			for i := 0; i < b.N; i++ {
+				l, store, err := spec.New(cfg.BlockSize)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rec := bench.NewRecorder(store)
+				rec.Skip = cfg.XMarkPrime
+				if err := bench.XMarkDocOrder(l, rec, cfg.XMarkElems, cfg.Seed); err != nil {
+					b.Fatal(err)
+				}
+				dist := rec.CCDF()
+				p90 = costAtFraction(dist, 0.10)
+				p99 = costAtFraction(dist, 0.01)
+				max = float64(rec.Max())
+			}
+			b.ReportMetric(p90, "io_p90")
+			b.ReportMetric(p99, "io_p99")
+			b.ReportMetric(max, "io_max")
+		})
+	}
+}
+
+// BenchmarkQueryLookupCost regenerates the in-text "Query performance"
+// numbers of Section 7: label lookup I/Os per scheme, including the LIDF
+// indirection, plus start/end pair lookups.
+func BenchmarkQueryLookupCost(b *testing.B) {
+	cfg := benchConfig()
+	tags := xmlgen.XMark(cfg.XMarkElems, cfg.Seed).TagStream()
+	specs := []bench.SchemeSpec{bench.WBoxSpec(), bench.WBoxOSpec(), bench.BBoxSpec(), bench.BBoxOSpec(), bench.NaiveSpec(16)}
+	for _, spec := range specs {
+		b.Run(spec.Name, func(b *testing.B) {
+			l, store, err := spec.New(cfg.BlockSize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			elems, err := l.BulkLoad(tags)
+			if err != nil {
+				b.Fatal(err)
+			}
+			store.ResetStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := elems[i%len(elems)]
+				if _, err := l.Lookup(e.Start); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(store.Stats().Total())/float64(b.N), "io/lookup")
+			b.ReportMetric(float64(l.Height()), "height")
+		})
+	}
+}
+
+// BenchmarkBulkVsElementInsert regenerates the "Other findings" numbers:
+// total I/O of inserting a subtree element-at-a-time versus with the bulk
+// subtree-insert operation.
+func BenchmarkBulkVsElementInsert(b *testing.B) {
+	cfg := benchConfig()
+	for _, spec := range []bench.SchemeSpec{bench.WBoxSpec(), bench.BBoxSpec()} {
+		b.Run(spec.Name+"/element", func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				l, store, err := spec.New(cfg.BlockSize)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rec := bench.NewRecorder(store)
+				if err := bench.Concentrated(l, rec, cfg.BaseElems, cfg.InsertElems); err != nil {
+					b.Fatal(err)
+				}
+				total = float64(rec.Total())
+			}
+			b.ReportMetric(total, "total_io")
+		})
+		b.Run(spec.Name+"/bulk", func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				l, store, err := spec.New(cfg.BlockSize)
+				if err != nil {
+					b.Fatal(err)
+				}
+				elems, err := l.BulkLoad(xmlgen.TwoLevel(cfg.BaseElems).TagStream())
+				if err != nil {
+					b.Fatal(err)
+				}
+				store.ResetStats()
+				if _, err := l.InsertSubtreeBefore(elems[0].End, xmlgen.TwoLevel(cfg.InsertElems).TagStream()); err != nil {
+					b.Fatal(err)
+				}
+				total = float64(store.Stats().Total())
+			}
+			b.ReportMetric(total, "total_io")
+		})
+	}
+}
+
+// BenchmarkLabelBits regenerates the label-length findings: bits per label
+// after the concentrated stress, against Theorems 4.4 and 5.1.
+func BenchmarkLabelBits(b *testing.B) {
+	cfg := benchConfig()
+	for _, spec := range bench.UpdateSchemes([]int{16, 64}) {
+		b.Run(spec.Name, func(b *testing.B) {
+			var bits float64
+			for i := 0; i < b.N; i++ {
+				l, store, err := spec.New(cfg.BlockSize)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rec := bench.NewRecorder(store)
+				if err := bench.Concentrated(l, rec, cfg.BaseElems, cfg.InsertElems); err != nil {
+					b.Fatal(err)
+				}
+				bits = float64(l.LabelBits())
+				_ = store
+			}
+			b.ReportMetric(bits, "label_bits")
+		})
+	}
+}
+
+// BenchmarkCachingLogging regenerates the Section 6 ablation: average
+// lookup I/O under no caching, basic caching, and caching+logging.
+func BenchmarkCachingLogging(b *testing.B) {
+	cfg := benchConfig()
+	tags := xmlgen.XMark(cfg.XMarkElems, cfg.Seed).TagStream()
+	modes := []struct {
+		name string
+		k    int // -1 off, 0 basic, >0 logged
+	}{{"off", -1}, {"basic", 0}, {"log64", 64}}
+	for _, spec := range []bench.SchemeSpec{bench.WBoxSpec(), bench.BBoxSpec()} {
+		for _, m := range modes {
+			b.Run(fmt.Sprintf("%s/%s", spec.Name, m.name), func(b *testing.B) {
+				l, store, err := spec.New(cfg.BlockSize)
+				if err != nil {
+					b.Fatal(err)
+				}
+				elems, err := l.BulkLoad(tags)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var cache *reflog.Cache
+				if m.k >= 0 {
+					cache = reflog.NewCache(l, reflog.NewLog(m.k))
+				}
+				refs := make([]reflog.Ref, 256)
+				for i := range refs {
+					lid := elems[(i*97)%len(elems)].Start
+					if cache != nil {
+						refs[i], err = cache.NewRef(lid)
+						if err != nil {
+							b.Fatal(err)
+						}
+					} else {
+						refs[i] = reflog.Ref{LID: lid}
+					}
+				}
+				store.ResetStats()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if i%64 == 0 {
+						// A steady trickle of updates ages the cache.
+						if _, err := l.InsertElementBefore(elems[i%len(elems)].End); err != nil {
+							b.Fatal(err)
+						}
+					}
+					ref := &refs[i%len(refs)]
+					if cache != nil {
+						if _, _, err := cache.Lookup(ref); err != nil {
+							b.Fatal(err)
+						}
+					} else if _, err := l.Lookup(ref.LID); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(store.Stats().Total())/float64(b.N), "io/op")
+			})
+		}
+	}
+}
+
+// BenchmarkWBoxOPairLookup measures W-BOX-O's single-I/O pair retrieval
+// against the basic W-BOX fallback (Section 4's "further optimization").
+func BenchmarkWBoxOPairLookup(b *testing.B) {
+	cfg := benchConfig()
+	tags := xmlgen.XMark(cfg.XMarkElems, cfg.Seed).TagStream()
+	for _, spec := range []bench.SchemeSpec{bench.WBoxSpec(), bench.WBoxOSpec()} {
+		b.Run(spec.Name, func(b *testing.B) {
+			l, store, err := spec.New(cfg.BlockSize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wl := l.(*wbox.Labeler)
+			elems, err := l.BulkLoad(tags)
+			if err != nil {
+				b.Fatal(err)
+			}
+			store.ResetStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := elems[i%len(elems)]
+				if _, _, err := wl.LookupPair(e.Start, e.End); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(store.Stats().Total())/float64(b.N), "io/pair")
+		})
+	}
+}

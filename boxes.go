@@ -1,0 +1,164 @@
+// Package boxes is a Go implementation of BOXes — the I/O-efficient data
+// structures for maintaining order-based labels over dynamic XML documents
+// from Silberstein, He, Yi & Yang, "BOXes: Efficient Maintenance of
+// Order-Based Labeling for Dynamic XML Data" (ICDE 2005).
+//
+// Every XML element carries a pair of integer labels (start, end) ordered
+// exactly like the element's tags in the document, so that ancestorship is
+// a pair of integer comparisons. This package maintains those labels as
+// the document changes:
+//
+//   - WBox — a weight-balanced B-tree storing the labels: constant-cost
+//     lookups (2 block I/Os), logarithmic amortized updates.
+//   - WBoxO — the pair-optimized variant that answers start+end lookups
+//     with a single structure I/O.
+//   - BBox — a keyless back-linked B-tree storing no label values at all:
+//     constant amortized updates, logarithmic lookups.
+//   - Naive — the classic gap-labeling baseline with global relabeling,
+//     included for comparison.
+//
+// Labels are always reached through immutable label IDs (LIDs), allocated
+// in a compact heap file, so references to labels stored in other indexes
+// never need updating. A caching/logging layer can repair cached label
+// values without I/O (read-heavy workloads).
+//
+// Quick start:
+//
+//	st, _ := boxes.Open(boxes.Options{Scheme: boxes.WBox})
+//	doc, _ := st.Load(boxes.GenerateXMark(100_000, 1))
+//	span, _ := st.LookupSpan(doc.Elems[0])
+package boxes
+
+import (
+	"io"
+
+	"boxes/internal/core"
+	"boxes/internal/order"
+	"boxes/internal/pager"
+	"boxes/internal/query"
+	"boxes/internal/reflog"
+	"boxes/internal/xmlgen"
+)
+
+// Re-exported core types. See the internal/core package for details.
+type (
+	// Options configures a labeling Store.
+	Options = core.Options
+	// Store maintains the dynamic labeling of one document.
+	Store = core.Store
+	// Document couples a Store with a loaded tree's element LIDs.
+	Document = core.Document
+	// Scheme selects the labeling structure.
+	Scheme = core.Scheme
+	// Caching selects the lookup acceleration mode.
+	Caching = core.Caching
+	// SyncStore is a mutex-guarded Store safe for concurrent use.
+	SyncStore = core.SyncStore
+)
+
+// NewSyncStore wraps st for concurrent use; the unwrapped Store must no
+// longer be used directly.
+func NewSyncStore(st *Store) *SyncStore { return core.NewSyncStore(st) }
+
+// Labeling schemes.
+const (
+	WBox  = core.SchemeWBox
+	WBoxO = core.SchemeWBoxO
+	BBox  = core.SchemeBBox
+	Naive = core.SchemeNaive
+)
+
+// Caching modes (Section 6 of the paper).
+const (
+	CachingOff    = core.CachingOff
+	CachingBasic  = core.CachingBasic
+	CachingLogged = core.CachingLogged
+)
+
+// Identifier and label types.
+type (
+	// LID is an immutable label identifier; safe to copy into indexes.
+	LID = order.LID
+	// Label is a dynamic label value.
+	Label = order.Label
+	// ElemLIDs is the (start, end) LID pair of one element.
+	ElemLIDs = order.ElemLIDs
+	// Span is an element's (start, end) label pair, the unit of query
+	// processing.
+	Span = query.Span
+	// Elem is a named, labeled element (input to twig matching).
+	Elem = query.Elem
+	// Twig is a parsed path pattern.
+	Twig = query.Twig
+	// Pair is one containment-join result.
+	Pair = query.Pair
+	// IOStats counts block reads and writes.
+	IOStats = pager.IOStats
+	// Cache is the Section 6 caching/logging lookup layer.
+	Cache = reflog.Cache
+	// CacheRef is an augmented label reference: LID + cached value +
+	// last-cached timestamp.
+	CacheRef = reflog.Ref
+)
+
+// Tree is an XML document modeled as an element tree.
+type Tree = xmlgen.Tree
+
+// Node is one element of a Tree.
+type Node = xmlgen.Node
+
+// Open creates an empty labeling store.
+func Open(opts Options) (*Store, error) { return core.Open(opts) }
+
+// OpenExisting resumes a store previously checkpointed with Store.Save on
+// a persistent backend; structural options come from the saved metadata
+// and only runtime options (caching, LRU size) are read from runtime.
+func OpenExisting(backend pager.Backend, runtime Options) (*Store, error) {
+	return core.OpenExisting(backend, runtime)
+}
+
+// GenerateXMark deterministically generates an XMark-shaped document with
+// at least n elements.
+func GenerateXMark(n int, seed int64) *Tree { return xmlgen.XMark(n, seed) }
+
+// GenerateTwoLevel generates the paper's two-level base document: a root
+// with n-1 children.
+func GenerateTwoLevel(n int) *Tree { return xmlgen.TwoLevel(n) }
+
+// ParseXML reads an XML document into a Tree.
+func ParseXML(r io.Reader) (*Tree, error) { return xmlgen.Parse(r) }
+
+// ContainmentJoin returns every (ancestor, descendant) index pair whose
+// spans nest, in O(in + out) using the stack-based merge.
+func ContainmentJoin(ancestors, descendants []Span) []Pair {
+	return query.ContainmentJoin(ancestors, descendants)
+}
+
+// ParseTwig parses a path pattern such as "//open_auction//bidder/increase".
+func ParseTwig(s string) Twig { return query.ParseTwig(s) }
+
+// MatchTwig returns the indices of elems matching the twig's final step.
+// elems must be sorted by start label.
+func MatchTwig(elems []Elem, twig Twig) []int { return query.Match(elems, twig) }
+
+// Pattern is a branching twig (tree pattern) with XPath-style predicates.
+type Pattern = query.Pattern
+
+// ParsePattern parses a branching pattern such as
+// "//open_auction[//bidder/increase][/seller]//annotation".
+func ParsePattern(s string) (*Pattern, error) { return query.ParsePattern(s) }
+
+// MatchPattern returns the indices of elems matching the pattern's root
+// with every branch satisfied. elems must be sorted by start label.
+func MatchPattern(elems []Elem, pt *Pattern) []int { return query.MatchPattern(elems, pt) }
+
+// CreateFileBackend creates a persistent file-backed block store usable as
+// Options.Backend.
+func CreateFileBackend(path string, blockSize int) (*pager.FileBackend, error) {
+	return pager.CreateFile(path, blockSize)
+}
+
+// OpenFileBackend reopens a store file created by CreateFileBackend.
+func OpenFileBackend(path string) (*pager.FileBackend, error) {
+	return pager.OpenFile(path)
+}

@@ -1,0 +1,79 @@
+// Command boxbench regenerates the tables and figures of the paper's
+// evaluation (Section 7). Each experiment reports block-I/O costs measured
+// with caching off, exactly like the paper.
+//
+// Usage:
+//
+//	boxbench -exp fig5            # one experiment
+//	boxbench -exp all -scale 10   # everything, at 10x the default size
+//
+// Experiments: fig5 fig6 fig7 fig8 fig9 tquery tbulk tbits tcache all.
+// The paper's own sizes correspond to -scale 100.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"boxes/internal/bench"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment id: fig5 fig6 fig7 fig8 fig9 tquery tbulk tbits tcache tfan tblock all")
+		scale     = flag.Int("scale", 1, "workload scale factor (100 = the paper's sizes)")
+		blockSize = flag.Int("block", 8192, "block size in bytes")
+		seed      = flag.Int64("seed", 1, "XMark generator seed")
+		base      = flag.Int("base", 0, "override: base document elements")
+		inserts   = flag.Int("inserts", 0, "override: inserted elements")
+	)
+	flag.Parse()
+
+	cfg := bench.Default().Scale(*scale)
+	cfg.BlockSize = *blockSize
+	cfg.Seed = *seed
+	if *base > 0 {
+		cfg.BaseElems = *base
+	}
+	if *inserts > 0 {
+		cfg.InsertElems = *inserts
+	}
+
+	type experiment struct {
+		id  string
+		run func(io.Writer, bench.Config) error
+	}
+	all := []experiment{
+		{"fig5", bench.Fig5},
+		{"fig6", bench.Fig6},
+		{"fig7", bench.Fig7},
+		{"fig8", bench.Fig8},
+		{"fig9", bench.Fig9},
+		{"tquery", bench.QueryCost},
+		{"tbulk", bench.BulkVsElement},
+		{"tbits", bench.LabelBits},
+		{"tcache", bench.CachingLogging},
+		{"tfan", bench.RelaxedFanout},
+		{"tblock", bench.BlockSizeSweep},
+	}
+	ran := false
+	for _, e := range all {
+		if *exp != "all" && *exp != e.id {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		if err := e.run(os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "boxbench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "boxbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,39 @@
+// Command boxgen emits a synthetic XMark-shaped XML document, the stand-in
+// for the XMark benchmark data used by the experiments.
+//
+// Usage:
+//
+//	boxgen -elements 100000 -seed 7 > auction.xml
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"boxes/internal/xmlgen"
+)
+
+func main() {
+	var (
+		elements = flag.Int("elements", 10000, "minimum number of elements")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		stats    = flag.Bool("stats", false, "print document statistics to stderr")
+	)
+	flag.Parse()
+
+	tree := xmlgen.XMark(*elements, *seed)
+	if *stats {
+		fmt.Fprintf(os.Stderr, "boxgen: %d elements, depth %d\n", tree.Elements(), tree.Depth())
+	}
+	w := bufio.NewWriter(os.Stdout)
+	if err := tree.WriteXML(w); err != nil {
+		fmt.Fprintf(os.Stderr, "boxgen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "boxgen: %v\n", err)
+		os.Exit(1)
+	}
+}

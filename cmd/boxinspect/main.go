@@ -1,0 +1,86 @@
+// Command boxinspect opens a labeling store file saved by boxload -save
+// (or Store.Save), reports its state, verifies every structural invariant,
+// and optionally resolves LIDs.
+//
+// Usage:
+//
+//	boxinspect labels.box
+//	boxinspect -lid 42 -lid 43 labels.box
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"boxes/internal/core"
+	"boxes/internal/order"
+	"boxes/internal/pager"
+)
+
+type lidList []order.LID
+
+func (l *lidList) String() string { return fmt.Sprint(*l) }
+func (l *lidList) Set(s string) error {
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return err
+	}
+	*l = append(*l, order.LID(v))
+	return nil
+}
+
+func main() {
+	var lids lidList
+	check := flag.Bool("check", true, "verify structural invariants")
+	flag.Var(&lids, "lid", "resolve this LID to its current label (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: boxinspect [flags] <store.box>")
+		os.Exit(2)
+	}
+
+	fb, err := pager.OpenFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer fb.Close()
+	st, err := core.OpenExisting(fb, core.Options{})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("store   : %s\n", flag.Arg(0))
+	fmt.Printf("scheme  : %s\n", st.Scheme())
+	fmt.Printf("labels  : %d (%d elements)\n", st.Count(), st.Count()/2)
+	fmt.Printf("height  : %d\n", st.Height())
+	fmt.Printf("bits    : %d per label\n", st.LabelBits())
+	fmt.Printf("blocks  : %d x %d bytes\n", st.Blocks(), fb.BlockSize())
+
+	if *check {
+		if err := st.CheckInvariants(); err != nil {
+			fatal(fmt.Errorf("INVARIANT VIOLATION: %w", err))
+		}
+		fmt.Println("check   : all structural invariants hold")
+	}
+
+	if len(lids) > 0 {
+		var parts []string
+		for _, lid := range lids {
+			v, err := st.Lookup(lid)
+			if err != nil {
+				parts = append(parts, fmt.Sprintf("%d=<%v>", lid, err))
+				continue
+			}
+			parts = append(parts, fmt.Sprintf("%d=%d", lid, v))
+		}
+		fmt.Printf("labels  : %s\n", strings.Join(parts, " "))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "boxinspect: %v\n", err)
+	os.Exit(1)
+}

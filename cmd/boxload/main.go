@@ -1,0 +1,155 @@
+// Command boxload bulk-loads an XML document into a labeling scheme,
+// verifies the structure, reports labeling statistics, and optionally runs
+// containment-join or twig queries over the labels.
+//
+// Usage:
+//
+//	boxload -scheme wbox doc.xml
+//	boxload -scheme bbox -join open_auction,increase doc.xml
+//	boxload -scheme wboxo -twig '//open_auction//bidder/increase' doc.xml
+//	boxgen -elements 50000 | boxload -scheme bbox -ordinal -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"boxes/internal/core"
+	"boxes/internal/pager"
+	"boxes/internal/query"
+	"boxes/internal/xmlgen"
+)
+
+func main() {
+	var (
+		scheme  = flag.String("scheme", "wbox", "labeling scheme: wbox | wboxo | bbox | naive")
+		ordinal = flag.Bool("ordinal", false, "enable ordinal labeling support")
+		naiveK  = flag.Int("k", 16, "gap bits for -scheme naive")
+		block   = flag.Int("block", 8192, "block size in bytes")
+		join    = flag.String("join", "", "containment join: ancestorName,descendantName")
+		twig    = flag.String("twig", "", "linear twig pattern, e.g. //open_auction//bidder/increase")
+		pattern = flag.String("pattern", "", "branching pattern, e.g. //open_auction[//bidder/increase][/seller]")
+		check   = flag.Bool("check", true, "verify structural invariants after loading")
+		saveTo  = flag.String("save", "", "persist the labeling store to this file after loading")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: boxload [flags] <file.xml | ->")
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	tree, err := xmlgen.Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := core.Options{BlockSize: *block, Ordinal: *ordinal, NaiveK: *naiveK}
+	switch *scheme {
+	case "wbox":
+		opts.Scheme = core.SchemeWBox
+	case "wboxo":
+		opts.Scheme = core.SchemeWBoxO
+	case "bbox":
+		opts.Scheme = core.SchemeBBox
+	case "naive":
+		opts.Scheme = core.SchemeNaive
+	default:
+		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+	if *saveTo != "" {
+		fb, err := pager.CreateFile(*saveTo, *block)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Backend = fb
+	}
+	st, err := core.Open(opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	doc, err := st.Load(tree)
+	if err != nil {
+		fatal(err)
+	}
+	loadIO := st.Stats()
+	fmt.Printf("loaded  : %d elements (%d labels) in %v\n", tree.Elements(), st.Count(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("scheme  : %s  height=%d  label_bits=%d  blocks=%d\n", opts.Scheme, st.Height(), st.LabelBits(), st.Blocks())
+	fmt.Printf("load i/o: %v\n", loadIO)
+
+	if *check {
+		if err := st.CheckInvariants(); err != nil {
+			fatal(fmt.Errorf("invariant check failed: %w", err))
+		}
+		fmt.Println("check   : all structural invariants hold")
+	}
+
+	if *join != "" {
+		parts := strings.SplitN(*join, ",", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("-join wants ancestorName,descendantName"))
+		}
+		st.ResetStats()
+		anc, err := doc.SpansOf(parts[0])
+		if err != nil {
+			fatal(err)
+		}
+		desc, err := doc.SpansOf(parts[1])
+		if err != nil {
+			fatal(err)
+		}
+		pairs := query.ContainmentJoin(anc, desc)
+		fmt.Printf("join    : %s (%d) x %s (%d) -> %d pairs, %v\n",
+			parts[0], len(anc), parts[1], len(desc), len(pairs), st.Stats())
+	}
+
+	if *twig != "" {
+		st.ResetStats()
+		elems, err := doc.LabeledElems()
+		if err != nil {
+			fatal(err)
+		}
+		matches := query.Match(elems, query.ParseTwig(*twig))
+		fmt.Printf("twig    : %s -> %d matches, %v\n", *twig, len(matches), st.Stats())
+	}
+
+	if *pattern != "" {
+		pt, err := query.ParsePattern(*pattern)
+		if err != nil {
+			fatal(err)
+		}
+		st.ResetStats()
+		elems, err := doc.LabeledElems()
+		if err != nil {
+			fatal(err)
+		}
+		matches := query.MatchPattern(elems, pt)
+		fmt.Printf("pattern : %s -> %d matches, %v\n", pt, len(matches), st.Stats())
+	}
+
+	if *saveTo != "" {
+		if err := st.Save(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved   : %s (%d blocks); resume with boxes.OpenExisting\n", *saveTo, st.Blocks())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "boxload: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Package cmd_test builds the command-line tools and exercises them end to
+// end: generate a document, load it into every scheme, query it, persist
+// it, and inspect the saved store.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "boxes-cli")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	for _, tool := range []string{"boxgen", "boxload", "boxinspect", "boxbench"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "boxes/cmd/"+tool)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			panic("building " + tool + ": " + err.Error())
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(filepath.Join(binDir, name), args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestGenerateLoadInspect(t *testing.T) {
+	dir := t.TempDir()
+	xml := filepath.Join(dir, "doc.xml")
+	gen := run(t, "boxgen", "-elements", "2000", "-seed", "5")
+	if err := os.WriteFile(xml, []byte(gen), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, scheme := range []string{"wbox", "wboxo", "bbox", "naive"} {
+		out := run(t, "boxload", "-scheme", scheme, "-join", "open_auction,increase", xml)
+		if !strings.Contains(out, "all structural invariants hold") {
+			t.Fatalf("%s: no invariant confirmation:\n%s", scheme, out)
+		}
+		if !strings.Contains(out, "join    : open_auction") {
+			t.Fatalf("%s: no join output:\n%s", scheme, out)
+		}
+	}
+
+	// Branching pattern query.
+	out := run(t, "boxload", "-scheme", "bbox", "-pattern", "//open_auction[//bidder]", xml)
+	if !strings.Contains(out, "pattern : //open_auction[//bidder]") && !strings.Contains(out, "pattern : //open_auction//bidder") {
+		t.Fatalf("pattern output missing:\n%s", out)
+	}
+
+	// Persist and inspect.
+	box := filepath.Join(dir, "labels.box")
+	out = run(t, "boxload", "-scheme", "wbox", "-save", box, xml)
+	if !strings.Contains(out, "saved") {
+		t.Fatalf("save output missing:\n%s", out)
+	}
+	out = run(t, "boxinspect", "-lid", "1", box)
+	if !strings.Contains(out, "scheme  : W-BOX") {
+		t.Fatalf("inspect scheme missing:\n%s", out)
+	}
+	if !strings.Contains(out, "all structural invariants hold") {
+		t.Fatalf("inspect check missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1=") {
+		t.Fatalf("lid resolution missing:\n%s", out)
+	}
+}
+
+func TestBenchCLISmoke(t *testing.T) {
+	out := run(t, "boxbench", "-exp", "tquery", "-base", "500", "-inserts", "100")
+	if !strings.Contains(out, "Query performance") || !strings.Contains(out, "W-BOX") {
+		t.Fatalf("boxbench tquery output:\n%s", out)
+	}
+	if _, err := exec.Command(filepath.Join(binDir, "boxbench"), "-exp", "nonsense").Output(); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package boxes_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"boxes"
+)
+
+// ExampleOpen labels a small document and checks an ancestor relationship
+// with two integer comparisons.
+func ExampleOpen() {
+	st, err := boxes.Open(boxes.Options{Scheme: boxes.WBox})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := boxes.ParseXML(strings.NewReader(
+		"<site><regions><item/><item/></regions><people/></site>"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, err := st.Load(tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	site, _ := st.LookupSpan(doc.Elems[0])
+	regions, _ := st.LookupSpan(doc.Elems[1])
+	people, _ := st.LookupSpan(doc.Elems[4])
+	fmt.Println("site contains regions:", site.Contains(regions))
+	fmt.Println("regions contains people:", regions.Contains(people))
+	// Output:
+	// site contains regions: true
+	// regions contains people: false
+}
+
+// ExampleContainmentJoin joins ancestors and descendants through their
+// label spans only.
+func ExampleContainmentJoin() {
+	st, err := boxes.Open(boxes.Options{Scheme: boxes.BBox})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := boxes.ParseXML(strings.NewReader(
+		"<doc><a><b/><b/></a><a/><b/></doc>"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, err := st.Load(tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	as, _ := doc.SpansOf("a")
+	bs, _ := doc.SpansOf("b")
+	pairs := boxes.ContainmentJoin(as, bs)
+	fmt.Printf("%d a-elements, %d b-elements, %d (a,b) nestings\n",
+		len(as), len(bs), len(pairs))
+	// Output:
+	// 2 a-elements, 3 b-elements, 2 (a,b) nestings
+}
+
+// ExampleStore_InsertElementBefore shows that immutable LIDs keep
+// resolving while labels shift underneath them.
+func ExampleStore_InsertElementBefore() {
+	st, err := boxes.Open(boxes.Options{Scheme: boxes.WBox})
+	if err != nil {
+		log.Fatal(err)
+	}
+	root, err := st.InsertFirstElement()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Two children, appended in order (insert before the root's end tag).
+	first, _ := st.InsertElementBefore(root.End)
+	second, _ := st.InsertElementBefore(root.End)
+	a, _ := st.LookupSpan(first)
+	b, _ := st.LookupSpan(second)
+	fmt.Println("first precedes second:", a.Before(b))
+	// A new previous sibling of `first` shifts labels, but the LIDs held
+	// above still resolve to the current, consistent values.
+	if _, err := st.InsertElementBefore(first.Start); err != nil {
+		log.Fatal(err)
+	}
+	a, _ = st.LookupSpan(first)
+	b, _ = st.LookupSpan(second)
+	fmt.Println("still precedes after relabeling:", a.Before(b))
+	// Output:
+	// first precedes second: true
+	// still precedes after relabeling: true
+}
+
+// ExampleMatchPattern runs a branching tree pattern over labeled elements.
+func ExampleMatchPattern() {
+	st, err := boxes.Open(boxes.Options{Scheme: boxes.WBoxO})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := boxes.ParseXML(strings.NewReader(`
+		<auctions>
+			<auction><bidder/><seller/></auction>
+			<auction><seller/></auction>
+			<auction><bidder/></auction>
+		</auctions>`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, err := st.Load(tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elems, err := doc.LabeledElems()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pt, err := boxes.ParsePattern("//auction[/bidder][/seller]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("auctions with both a bidder and a seller:", len(boxes.MatchPattern(elems, pt)))
+	// Output:
+	// auctions with both a bidder and a seller: 1
+}

@@ -1,0 +1,83 @@
+// Quickstart: load a document, look up labels, check ancestorship, edit
+// the document, and watch the labels stay consistent.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"boxes"
+)
+
+func main() {
+	// A W-BOX gives constant-cost label lookups (2 block I/Os) and
+	// logarithmic amortized updates.
+	st, err := boxes.Open(boxes.Options{Scheme: boxes.WBox})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Load a small XMark-shaped auction document.
+	tree := boxes.GenerateXMark(10_000, 42)
+	doc, err := st.Load(tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d elements; tree height %d; labels need %d bits\n",
+		tree.Elements(), st.Height(), st.LabelBits())
+
+	// Element 0 is the root <site>; element 1 is <regions>. Their label
+	// spans decide ancestorship with two integer comparisons — no tree
+	// traversal.
+	site, err := st.LookupSpan(doc.Elems[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	regions, err := st.LookupSpan(doc.Elems[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("site=%v regions=%v, site contains regions: %v\n",
+		site, regions, site.Contains(regions))
+
+	// Insert a new element as the last child of <regions>: pass the end
+	// label's LID. The returned LIDs are immutable: they can be stored in
+	// any index and will keep resolving to current labels.
+	novel, err := st.InsertElementBefore(doc.Elems[1].End)
+	if err != nil {
+		log.Fatal(err)
+	}
+	span, err := st.LookupSpan(novel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Labels are dynamic: the insertion may have shifted other labels, so
+	// a span captured before an update (like `regions` above) can be
+	// stale. Always re-resolve through the immutable LIDs.
+	regions, err = st.LookupSpan(doc.Elems[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inserted element has span %v; inside re-resolved regions %v: %v\n",
+		span, regions, regions.Contains(span))
+
+	// Updates may relabel, but LIDs never change. Re-resolving the spans
+	// always reflects the current labeling.
+	for i := 0; i < 1_000; i++ {
+		if _, err := st.InsertElementBefore(novel.Start); err != nil {
+			log.Fatal(err)
+		}
+	}
+	span2, err := st.LookupSpan(novel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	regions2, err := st.LookupSpan(doc.Elems[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after 1000 sibling inserts: span %v -> %v, still inside regions: %v\n",
+		span, span2, regions2.Contains(span2))
+
+	fmt.Printf("total block I/O: %v\n", st.Stats())
+}

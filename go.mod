@@ -1,0 +1,3 @@
+module boxes
+
+go 1.22

@@ -1,0 +1,101 @@
+package bbox
+
+import (
+	"fmt"
+
+	"boxes/internal/pager"
+)
+
+// CheckInvariants implements order.Labeler: every back-link is the exact
+// inverse of a child pointer, all leaves sit at the same depth, occupancy
+// stays within bounds, size fields (Ordinal) equal true subtree counts, and
+// the LIDF points every live LID at its containing leaf. Intended for
+// tests; reads the whole structure.
+func (l *Labeler) CheckInvariants() (err error) {
+	l.store.BeginOp()
+	defer l.store.EndOpInto(&err)
+	if l.root == pager.NilBlock {
+		if l.count != 0 {
+			return fmt.Errorf("bbox: empty tree with count %d", l.count)
+		}
+		if l.file.Count() != 0 {
+			return fmt.Errorf("bbox: empty tree but LIDF holds %d records", l.file.Count())
+		}
+		return nil
+	}
+	root, err := l.readNode(l.root)
+	if err != nil {
+		return err
+	}
+	if root.parent != pager.NilBlock {
+		return fmt.Errorf("bbox: root has parent %d", root.parent)
+	}
+	if !root.leaf && len(root.ents) < 2 {
+		return fmt.Errorf("bbox: internal root with %d children", len(root.ents))
+	}
+	total, err := l.checkNode(root, true, l.height)
+	if err != nil {
+		return err
+	}
+	if total != l.count {
+		return fmt.Errorf("bbox: counted %d records, tracking %d", total, l.count)
+	}
+	if l.file.Count() != l.count {
+		return fmt.Errorf("bbox: LIDF holds %d records, count %d", l.file.Count(), l.count)
+	}
+	return nil
+}
+
+// checkNode validates n's subtree and returns its record count.
+// levelsLeft is the number of levels n's subtree must span (1 = leaf).
+func (l *Labeler) checkNode(n *node, isRoot bool, levelsLeft int) (uint64, error) {
+	if n.leaf {
+		if levelsLeft != 1 {
+			return 0, fmt.Errorf("bbox: leaf %d at wrong depth (%d levels left)", n.blk, levelsLeft)
+		}
+		if len(n.lids) > l.p.LeafCap {
+			return 0, fmt.Errorf("bbox: leaf %d holds %d records, cap %d", n.blk, len(n.lids), l.p.LeafCap)
+		}
+		if !isRoot && len(n.lids) < l.p.MinLeaf {
+			return 0, fmt.Errorf("bbox: leaf %d holds %d records, min %d", n.blk, len(n.lids), l.p.MinLeaf)
+		}
+		for i, lid := range n.lids {
+			got, err := l.file.GetU64(lid)
+			if err != nil {
+				return 0, fmt.Errorf("bbox: leaf %d record %d (lid %d): LIDF: %w", n.blk, i, lid, err)
+			}
+			if pager.BlockID(got) != n.blk {
+				return 0, fmt.Errorf("bbox: lid %d LIDF points at block %d, record lives in %d", lid, got, n.blk)
+			}
+		}
+		return uint64(len(n.lids)), nil
+	}
+	if levelsLeft <= 1 {
+		return 0, fmt.Errorf("bbox: internal node %d deeper than height", n.blk)
+	}
+	if len(n.ents) > l.p.Fanout {
+		return 0, fmt.Errorf("bbox: node %d has %d children, fan-out %d", n.blk, len(n.ents), l.p.Fanout)
+	}
+	if !isRoot && len(n.ents) < l.p.MinFanout {
+		return 0, fmt.Errorf("bbox: node %d has %d children, min %d", n.blk, len(n.ents), l.p.MinFanout)
+	}
+	var total uint64
+	for i := range n.ents {
+		child, err := l.readNode(n.ents[i].child)
+		if err != nil {
+			return 0, err
+		}
+		if child.parent != n.blk {
+			return 0, fmt.Errorf("bbox: node %d back-link points at %d, parent is %d", child.blk, child.parent, n.blk)
+		}
+		sub, err := l.checkNode(child, false, levelsLeft-1)
+		if err != nil {
+			return 0, err
+		}
+		if l.p.Ordinal && n.ents[i].size != sub {
+			return 0, fmt.Errorf("bbox: node %d entry %d size %d, actual %d", n.blk, i, n.ents[i].size, sub)
+		}
+		total += sub
+	}
+	return total, nil
+}

@@ -1,0 +1,182 @@
+package bbox
+
+import (
+	"fmt"
+
+	"boxes/internal/order"
+	"boxes/internal/pager"
+)
+
+// DeleteSubtree implements order.Labeler: remove the contiguous record
+// range from start's position to end's position (an element and its
+// descendants). The tree is "ripped" along both boundary paths: interior
+// subtrees are freed wholesale in O(N'/B) I/Os, boundary nodes are edited
+// in place, and underflows are repaired with ordinary borrows and merges —
+// O(B·log_B N) structure cost as in Section 5.
+func (l *Labeler) DeleteSubtree(start, end order.LID) (err error) {
+	l.store.BeginOp()
+	defer l.store.EndOpInto(&err)
+	stepsS, err := l.pathOf(start)
+	if err != nil {
+		return err
+	}
+	stepsE, err := l.pathOf(end)
+	if err != nil {
+		return err
+	}
+	h := l.height
+	pathS := make([]int, h)
+	pathE := make([]int, h)
+	for k, st := range stepsS {
+		pathS[h-1-k] = st.pos
+	}
+	for k, st := range stepsE {
+		pathE[h-1-k] = st.pos
+	}
+	for d := 0; d < h; d++ {
+		if pathS[d] < pathE[d] {
+			break
+		}
+		if pathS[d] > pathE[d] {
+			return fmt.Errorf("bbox: delete range start after end")
+		}
+	}
+	predLID, err := l.findPredecessor(stepsS)
+	if err != nil {
+		return err
+	}
+	succLID, err := l.findSuccessor(stepsE)
+	if err != nil {
+		return err
+	}
+	if l.p.Ordinal && l.ologger != nil {
+		o1, err := l.ordinalOfPos(stepsS[0].n, stepsS[0].pos)
+		if err != nil {
+			return err
+		}
+		o2, err := l.ordinalOfPos(stepsE[0].n, stepsE[0].pos)
+		if err != nil {
+			return err
+		}
+		l.ologger.LogInvalidate(o1, o2)
+		l.logOrdinalShift(o2+1, -int64(o2-o1+1))
+	}
+
+	removed, empty, err := l.removeRangeNode(l.root, pathS, pathE, 0, true, true)
+	if err != nil {
+		return err
+	}
+	l.count -= removed
+	l.logInvalidateAll()
+	if empty {
+		l.root = pager.NilBlock
+		l.height = 0
+		return nil
+	}
+	return l.repairAlong([]order.LID{predLID, succLID})
+}
+
+// removeRangeNode removes every record between the top-down child-index
+// paths pathS and pathE (inclusive at both ends) from blk's subtree.
+func (l *Labeler) removeRangeNode(blk pager.BlockID, pathS, pathE []int, depth int, onLeft, onRight bool) (removed uint64, empty bool, err error) {
+	n, err := l.readNode(blk)
+	if err != nil {
+		return 0, false, err
+	}
+	if n.leaf {
+		lo := 0
+		if onLeft {
+			lo = pathS[depth]
+		}
+		hi := len(n.lids) - 1
+		if onRight {
+			hi = pathE[depth]
+		}
+		for _, lid := range n.lids[lo : hi+1] {
+			if err := l.file.Free(lid); err != nil {
+				return 0, false, err
+			}
+		}
+		removed = uint64(hi + 1 - lo)
+		n.lids = append(n.lids[:lo], n.lids[hi+1:]...)
+		if len(n.lids) == 0 {
+			if err := l.store.Free(n.blk); err != nil {
+				return 0, false, err
+			}
+			return removed, true, nil
+		}
+		return removed, false, l.writeNode(n)
+	}
+
+	lo := 0
+	if onLeft {
+		lo = pathS[depth]
+	}
+	hi := len(n.ents) - 1
+	if onRight {
+		hi = pathE[depth]
+	}
+	keep := append([]entry(nil), n.ents[:lo]...)
+	for i := lo; i <= hi; i++ {
+		leftBoundary := onLeft && i == lo
+		rightBoundary := onRight && i == hi
+		if !leftBoundary && !rightBoundary {
+			w, err := l.freeSubtreeLIDs(n.ents[i].child)
+			if err != nil {
+				return 0, false, err
+			}
+			removed += w
+			continue
+		}
+		rem, childEmpty, err := l.removeRangeNode(n.ents[i].child, pathS, pathE, depth+1, leftBoundary, rightBoundary)
+		if err != nil {
+			return 0, false, err
+		}
+		removed += rem
+		if childEmpty {
+			continue
+		}
+		e := n.ents[i]
+		e.size -= rem
+		keep = append(keep, e)
+	}
+	keep = append(keep, n.ents[hi+1:]...)
+	if len(keep) == 0 {
+		if err := l.store.Free(n.blk); err != nil {
+			return 0, false, err
+		}
+		return removed, true, nil
+	}
+	n.ents = keep
+	return removed, false, l.writeNode(n)
+}
+
+// freeSubtreeLIDs releases blk's whole subtree: every node block and the
+// LIDF records of every label below it.
+func (l *Labeler) freeSubtreeLIDs(blk pager.BlockID) (uint64, error) {
+	n, err := l.readNode(blk)
+	if err != nil {
+		return 0, err
+	}
+	var removed uint64
+	if n.leaf {
+		for _, lid := range n.lids {
+			if err := l.file.Free(lid); err != nil {
+				return 0, err
+			}
+		}
+		removed = uint64(len(n.lids))
+	} else {
+		for i := range n.ents {
+			w, err := l.freeSubtreeLIDs(n.ents[i].child)
+			if err != nil {
+				return 0, err
+			}
+			removed += w
+		}
+	}
+	if err := l.store.Free(n.blk); err != nil {
+		return 0, err
+	}
+	return removed, nil
+}

@@ -1,0 +1,109 @@
+package bbox
+
+import (
+	"testing"
+
+	"boxes/internal/order"
+)
+
+// TestInsertBeforeSingleLabels exercises the low-level single-label
+// insert-before operation (Section 3's primitive) directly.
+func TestInsertBeforeSingleLabels(t *testing.T) {
+	l, _ := newLabeler(t, 512, false, false)
+	e, err := l.InsertFirstElement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a chain of labels before the end label; each must order
+	// strictly between its predecessor and the end.
+	prev := e.Start
+	for i := 0; i < 200; i++ {
+		lid, err := l.InsertBefore(e.End)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		cmp, err := l.CompareLIDs(prev, lid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmp != -1 {
+			t.Fatalf("insert %d: new label not after previous (cmp=%d)", i, cmp)
+		}
+		cmp, err = l.CompareLIDs(lid, e.End)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmp != -1 {
+			t.Fatalf("insert %d: new label not before end (cmp=%d)", i, cmp)
+		}
+		prev = lid
+	}
+	if l.Count() != 202 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	l, _ := newLabeler(t, 512, false, false)
+	elems, err := l.BulkLoad(order.TagStreamFromPairs(3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Height() < 3 {
+		t.Fatalf("height %d too small", l.Height())
+	}
+	for _, e := range []order.ElemLIDs{elems[0], elems[1500], elems[2999]} {
+		comps, err := l.Components(e.Start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(comps) != l.Height() {
+			t.Fatalf("components = %v, want %d of them", comps, l.Height())
+		}
+		// Packing the components must reproduce Lookup's label.
+		var packed uint64
+		for _, c := range comps {
+			if c < 0 {
+				t.Fatalf("negative component in %v", comps)
+			}
+			packed = packed<<l.p.compBits | uint64(c)
+		}
+		direct, err := l.Lookup(e.Start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if packed != direct {
+			t.Fatalf("packed components %v = %d, Lookup = %d", comps, packed, direct)
+		}
+	}
+}
+
+func TestComponentsOrderMatchesDocument(t *testing.T) {
+	l, _ := newLabeler(t, 512, false, false)
+	elems, err := l.BulkLoad(order.TagStreamFromPairs(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Component vectors must compare lexicographically like the labels.
+	a, err := l.Components(elems[100].Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Components(elems[400].Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	less := false
+	for i := range a {
+		if a[i] != b[i] {
+			less = a[i] < b[i]
+			break
+		}
+	}
+	if !less {
+		t.Fatalf("component vectors out of order: %v vs %v", a, b)
+	}
+}

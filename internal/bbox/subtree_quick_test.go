@@ -1,0 +1,141 @@
+package bbox
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"boxes/internal/order"
+	"boxes/internal/pager"
+)
+
+// TestQuickMixedWithSubtreeOps drives random workloads that interleave
+// element inserts/deletes with bulk subtree inserts and deletes, checking
+// the full labeling validity and structural invariants after every bulk
+// operation and at the end.
+func TestQuickMixedWithSubtreeOps(t *testing.T) {
+	f := func(seed int64, sel uint8) bool {
+		ordinal := sel%2 == 1
+		relaxed := (sel/2)%2 == 1
+		store := pager.NewMemStore(512)
+		p, err := NewParams(512, ordinal, relaxed)
+		if err != nil {
+			return false
+		}
+		l, err := New(store, p)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		o := order.NewOracle()
+		elems, err := l.BulkLoad(order.TagStreamFromPairs(30))
+		if err != nil {
+			return false
+		}
+		lids := make([]order.LID, 0, 60)
+		for i, e := range elems {
+			if i == 0 {
+				lids = append(lids, e.Start)
+			} else {
+				lids = append(lids, e.Start, e.End)
+			}
+		}
+		lids = append(lids, elems[0].End)
+		o.Load(lids)
+		// Track insertable subtree roots (element pairs) for deletion.
+		subtrees := [][]order.ElemLIDs{}
+		live := append([]order.ElemLIDs(nil), elems...)
+		for i := 0; i < 40; i++ {
+			switch rng.Intn(5) {
+			case 0: // subtree insert
+				target := live[rng.Intn(len(live))]
+				anchor := target.Start
+				n := 3 + rng.Intn(10)
+				tags := order.TagStreamFromPairs(n)
+				newElems, err := l.InsertSubtreeBefore(anchor, tags)
+				if err != nil {
+					t.Logf("subtree insert: %v", err)
+					return false
+				}
+				newLids := make([]order.LID, len(tags))
+				for j, tg := range tags {
+					if tg.Start {
+						newLids[j] = newElems[tg.Elem].Start
+					} else {
+						newLids[j] = newElems[tg.Elem].End
+					}
+				}
+				if err := o.InsertSliceBefore(newLids, anchor); err != nil {
+					return false
+				}
+				subtrees = append(subtrees, newElems)
+				if err := l.CheckInvariants(); err != nil {
+					t.Logf("after subtree insert: %v", err)
+					return false
+				}
+			case 1: // subtree delete
+				if len(subtrees) == 0 {
+					continue
+				}
+				idx := rng.Intn(len(subtrees))
+				st := subtrees[idx]
+				subtrees = append(subtrees[:idx], subtrees[idx+1:]...)
+				root := st[0]
+				if err := l.DeleteSubtree(root.Start, root.End); err != nil {
+					t.Logf("subtree delete: %v", err)
+					return false
+				}
+				if err := o.DeleteRange(root.Start, root.End); err != nil {
+					return false
+				}
+				if err := l.CheckInvariants(); err != nil {
+					t.Logf("after subtree delete: %v", err)
+					return false
+				}
+			case 2: // element delete (only from base doc tail, keeping it simple)
+				if len(live) > 2 {
+					idx := 1 + rng.Intn(len(live)-1)
+					v := live[idx]
+					if err := l.Delete(v.Start); err != nil {
+						t.Logf("delete: %v", err)
+						return false
+					}
+					if err := l.Delete(v.End); err != nil {
+						return false
+					}
+					if o.Delete(v.Start) != nil || o.Delete(v.End) != nil {
+						return false
+					}
+					live = append(live[:idx], live[idx+1:]...)
+				}
+			default: // element insert
+				target := live[rng.Intn(len(live))]
+				anchor := target.End
+				if rng.Intn(2) == 0 {
+					anchor = target.Start
+				}
+				ne, err := l.InsertElementBefore(anchor)
+				if err != nil {
+					t.Logf("insert: %v", err)
+					return false
+				}
+				if err := o.InsertElementBefore(ne, anchor); err != nil {
+					return false
+				}
+				live = append(live, ne)
+			}
+		}
+		if err := l.CheckInvariants(); err != nil {
+			t.Logf("final invariants: %v", err)
+			return false
+		}
+		if err := o.CheckAgainst(l, ordinal); err != nil {
+			t.Logf("final oracle: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"boxes/internal/bbox"
+	"boxes/internal/order"
+	"boxes/internal/pager"
+	"boxes/internal/xmlgen"
+)
+
+// RelaxedFanout reproduces the Section 5 discussion of the B/4 minimum
+// fan-out: with the standard B/2 minimum, insert/delete churn at an
+// occupancy boundary thrashes (rounds pay a merge and a split); with B/4
+// the same rounds touch no structural operation. Getting the thrash to
+// manifest needs two ingredients the paper's sketch leaves implicit: the
+// whole leaf neighbourhood must sit at minimum occupancy (otherwise
+// borrowing from a non-minimal sibling absorbs the oscillation), and the
+// churn amplitude must exceed the slack the grind leaves behind.
+func RelaxedFanout(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "# Section 5 ablation: B-BOX minimum fan-out B/2 vs B/4 under insert/delete thrashing\n")
+	fmt.Fprintf(w, "%-10s %12s %12s\n", "min_fanout", "avg_io/op", "total_io")
+	for _, relaxed := range []bool{false, true} {
+		store := pager.NewMemStore(cfg.BlockSize)
+		p, err := bbox.NewParams(cfg.BlockSize, false, relaxed)
+		if err != nil {
+			return err
+		}
+		l, err := bbox.New(store, p)
+		if err != nil {
+			return err
+		}
+		elems, err := l.BulkLoad(xmlgen.TwoLevel(cfg.BaseElems).TagStream())
+		if err != nil {
+			return err
+		}
+		// Grind a neighbourhood of leaves down to ~B/2 records each by
+		// deleting every other element in a region: with the standard
+		// minimum every leaf then sits at the underflow boundary and has
+		// no spare records to lend, so each subsequent delete/insert
+		// round crosses both boundaries (merge back to ~B, then split);
+		// with the relaxed B/4 minimum the same occupancy is comfortable
+		// and the rounds touch no structural operation.
+		mid := cfg.BaseElems / 2
+		region := 4000
+		if region > cfg.BaseElems/4 {
+			region = cfg.BaseElems / 4
+		}
+		if region < 16 {
+			return fmt.Errorf("tfan: base document too small")
+		}
+		if mid%2 == 1 {
+			mid-- // the grind skips even offsets from mid-region; keep mid on that grid
+		}
+		for i := mid - region; i < mid+region; i += 2 {
+			if i == mid {
+				continue
+			}
+			if err := l.Delete(elems[i].Start); err != nil {
+				return err
+			}
+			if err := l.Delete(elems[i].End); err != nil {
+				return err
+			}
+		}
+		// Push the anchor's leaf just below the standard minimum: with
+		// min B/2 it settles by merging into a near-full leaf (its
+		// ground-down siblings have nothing to lend), parking the base
+		// state right at both boundaries; with min B/4 nothing happens.
+		for _, i := range []int{mid - 1, mid + 1} {
+			if err := l.Delete(elems[i].Start); err != nil {
+				return err
+			}
+			if err := l.Delete(elems[i].End); err != nil {
+				return err
+			}
+		}
+		anchor := elems[mid].Start
+		// Amplitude of 4 elements (8 records): large enough to cross the
+		// B/2 underflow and overflow boundaries every round regardless of
+		// the few records of slack the grind leaves in the anchor leaf.
+		const residents = 4
+		insert := func() ([]order.ElemLIDs, error) {
+			live := make([]order.ElemLIDs, 0, residents)
+			for j := 0; j < residents; j++ {
+				e, err := l.InsertElementBefore(anchor)
+				if err != nil {
+					return nil, err
+				}
+				live = append(live, e)
+			}
+			return live, nil
+		}
+		live, err := insert()
+		if err != nil {
+			return err
+		}
+		rec := NewRecorder(store)
+		rounds := cfg.InsertElems / residents
+		for i := 0; i < rounds; i++ {
+			if err := rec.Do(func() error {
+				for _, e := range live {
+					if err := l.Delete(e.Start); err != nil {
+						return err
+					}
+					if err := l.Delete(e.End); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			if err := rec.Do(func() error {
+				var err error
+				live, err = insert()
+				return err
+			}); err != nil {
+				return err
+			}
+		}
+		name := "B/2"
+		if relaxed {
+			name = "B/4"
+		}
+		fmt.Fprintf(w, "%-10s %12.2f %12d\n", name, rec.Avg(), rec.Total())
+	}
+	return nil
+}
+
+// BlockSizeSweep measures how the block size (and therefore B, the number
+// of labels per block) moves the update-cost tradeoff for the BOXes under
+// concentrated insertion. Larger blocks mean flatter trees and rarer
+// splits, but each split and relabel touches more bytes.
+func BlockSizeSweep(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "# Ablation: block size sweep, concentrated insertion (base=%d, inserts=%d)\n", cfg.BaseElems, cfg.InsertElems)
+	fmt.Fprintf(w, "%-12s %8s %12s %8s %7s\n", "scheme", "block", "avg_io/op", "max_io", "height")
+	for _, bs := range []int{1024, 4096, 8192, 16384} {
+		for _, spec := range []SchemeSpec{WBoxSpec(), BBoxSpec()} {
+			l, store, err := spec.New(bs)
+			if err != nil {
+				return err
+			}
+			rec := NewRecorder(store)
+			if err := Concentrated(l, rec, cfg.BaseElems, cfg.InsertElems); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-12s %8d %12.2f %8d %7d\n", spec.Name, bs, rec.Avg(), rec.Max(), l.Height())
+		}
+	}
+	return nil
+}

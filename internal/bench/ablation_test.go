@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRelaxedFanoutOutput(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.BlockSize = 1024
+	cfg.BaseElems = 3000
+	cfg.InsertElems = 400
+	var buf bytes.Buffer
+	if err := RelaxedFanout(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var b2, b4 float64
+	for _, line := range strings.Split(out, "\n") {
+		var name string
+		var avg float64
+		var total uint64
+		if n, _ := fmt.Sscanf(line, "%s %f %d", &name, &avg, &total); n == 3 {
+			switch name {
+			case "B/2":
+				b2 = avg
+			case "B/4":
+				b4 = avg
+			}
+		}
+	}
+	if b2 == 0 || b4 == 0 {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	// The boundary-churn workload must cost strictly more with the
+	// standard minimum fan-out (that is the point of the Section 5
+	// relaxation).
+	if b2 <= b4 {
+		t.Errorf("B/2 avg %.2f not above B/4 avg %.2f", b2, b4)
+	}
+}
+
+func TestBlockSizeSweepOutput(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.BaseElems = 2000
+	cfg.InsertElems = 300
+	var buf bytes.Buffer
+	if err := BlockSizeSweep(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		var name string
+		var bs int
+		var avg float64
+		if n, _ := fmt.Sscanf(line, "%s %d %f", &name, &bs, &avg); n == 3 {
+			rows++
+			if avg <= 0 {
+				t.Errorf("%s @%d: avg %v", name, bs, avg)
+			}
+		}
+	}
+	if rows != 8 { // 4 block sizes x 2 schemes
+		t.Fatalf("rows = %d, want 8:\n%s", rows, out)
+	}
+}

@@ -1,0 +1,259 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (Section 7). Each experiment drives the
+// labeling schemes through a workload while recording the block-I/O cost
+// of every operation, then reports averages (the "amortized update cost"
+// figures) and cost distributions (the CCDF figures).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"boxes/internal/bbox"
+	"boxes/internal/naive"
+	"boxes/internal/order"
+	"boxes/internal/pager"
+	"boxes/internal/wbox"
+)
+
+// Config holds the experiment parameters. The paper's scale (2,000,000
+// base elements + 500,000 insertions; XMark with 336,242 elements primed by
+// 200,000) is Default().Scale(100).
+type Config struct {
+	BlockSize   int
+	BaseElems   int   // elements in the two-level base document
+	InsertElems int   // elements inserted by the update experiments
+	XMarkElems  int   // document size for the XMark experiment
+	XMarkPrime  int   // insertions excluded from XMark measurements
+	Seed        int64 // XMark generator seed
+	NaiveKs     []int // naive-k variants to include
+}
+
+// Default returns the laptop-scale configuration (1/100 of the paper's).
+func Default() Config {
+	return Config{
+		BlockSize:   pager.DefaultBlockSize,
+		BaseElems:   20000,
+		InsertElems: 5000,
+		XMarkElems:  3362,
+		XMarkPrime:  2000,
+		Seed:        1,
+		NaiveKs:     []int{4, 16, 64, 256},
+	}
+}
+
+// Scale multiplies the workload sizes by f (Scale(100) reproduces the
+// paper's sizes).
+func (c Config) Scale(f int) Config {
+	c.BaseElems *= f
+	c.InsertElems *= f
+	c.XMarkElems *= f
+	c.XMarkPrime *= f
+	return c
+}
+
+// SchemeSpec names a labeling scheme and knows how to instantiate it.
+type SchemeSpec struct {
+	Name string
+	New  func(blockSize int) (order.Labeler, *pager.Store, error)
+}
+
+// WBoxSpec is the basic W-BOX.
+func WBoxSpec() SchemeSpec {
+	return SchemeSpec{Name: "W-BOX", New: func(bs int) (order.Labeler, *pager.Store, error) {
+		store := pager.NewMemStore(bs)
+		p, err := wbox.NewParams(bs, wbox.Basic, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		l, err := wbox.New(store, p)
+		return l, store, err
+	}}
+}
+
+// WBoxOSpec is W-BOX-O (pair-optimized leaves).
+func WBoxOSpec() SchemeSpec {
+	return SchemeSpec{Name: "W-BOX-O", New: func(bs int) (order.Labeler, *pager.Store, error) {
+		store := pager.NewMemStore(bs)
+		p, err := wbox.NewParams(bs, wbox.PairOptimized, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		l, err := wbox.New(store, p)
+		return l, store, err
+	}}
+}
+
+// BBoxSpec is the basic B-BOX.
+func BBoxSpec() SchemeSpec {
+	return SchemeSpec{Name: "B-BOX", New: func(bs int) (order.Labeler, *pager.Store, error) {
+		store := pager.NewMemStore(bs)
+		p, err := bbox.NewParams(bs, false, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		l, err := bbox.New(store, p)
+		return l, store, err
+	}}
+}
+
+// BBoxOSpec is B-BOX-O (ordinal labeling support).
+func BBoxOSpec() SchemeSpec {
+	return SchemeSpec{Name: "B-BOX-O", New: func(bs int) (order.Labeler, *pager.Store, error) {
+		store := pager.NewMemStore(bs)
+		p, err := bbox.NewParams(bs, true, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		l, err := bbox.New(store, p)
+		return l, store, err
+	}}
+}
+
+// NaiveSpec is naive-k.
+func NaiveSpec(k int) SchemeSpec {
+	return SchemeSpec{Name: fmt.Sprintf("naive-%d", k), New: func(bs int) (order.Labeler, *pager.Store, error) {
+		store := pager.NewMemStore(bs)
+		l, err := naive.New(store, naive.Config{K: k})
+		return l, store, err
+	}}
+}
+
+// UpdateSchemes is the scheme matrix of the update-cost figures.
+func UpdateSchemes(naiveKs []int) []SchemeSpec {
+	specs := []SchemeSpec{BBoxSpec(), BBoxOSpec(), WBoxSpec(), WBoxOSpec()}
+	for _, k := range naiveKs {
+		specs = append(specs, NaiveSpec(k))
+	}
+	return specs
+}
+
+// Recorder measures the block-I/O cost of individual operations.
+type Recorder struct {
+	store *pager.Store
+	Skip  int // operations to exclude (the XMark priming prefix)
+
+	seen  int
+	costs []uint32
+	total uint64
+}
+
+// NewRecorder wraps store.
+func NewRecorder(store *pager.Store) *Recorder { return &Recorder{store: store} }
+
+// Do runs op and records its I/O cost (unless still in the skip prefix).
+func (r *Recorder) Do(op func() error) error {
+	before := r.store.Stats()
+	if err := op(); err != nil {
+		return err
+	}
+	r.seen++
+	if r.seen <= r.Skip {
+		return nil
+	}
+	d := r.store.Stats().Sub(before).Total()
+	r.costs = append(r.costs, uint32(d))
+	r.total += d
+	return nil
+}
+
+// N reports the number of recorded operations.
+func (r *Recorder) N() int { return len(r.costs) }
+
+// Total reports the summed I/O of recorded operations.
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Avg reports the amortized cost (I/Os per recorded operation).
+func (r *Recorder) Avg() float64 {
+	if len(r.costs) == 0 {
+		return 0
+	}
+	return float64(r.total) / float64(len(r.costs))
+}
+
+// Max reports the largest individual cost.
+func (r *Recorder) Max() uint64 {
+	var m uint32
+	for _, c := range r.costs {
+		if c > m {
+			m = c
+		}
+	}
+	return uint64(m)
+}
+
+// CCDFPoint is one point of a cost distribution: the fraction of
+// operations whose cost strictly exceeds Cost.
+type CCDFPoint struct {
+	Cost      uint64
+	FracAbove float64
+}
+
+// CCDF returns the complementary cumulative distribution of recorded
+// costs, one point per distinct cost, ascending — the form of Figures 6
+// and 9.
+func (r *Recorder) CCDF() []CCDFPoint {
+	if len(r.costs) == 0 {
+		return nil
+	}
+	sorted := append([]uint32(nil), r.costs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	n := float64(len(sorted))
+	var out []CCDFPoint
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		out = append(out, CCDFPoint{Cost: uint64(sorted[i]), FracAbove: float64(len(sorted)-j) / n})
+		i = j
+	}
+	return out
+}
+
+// SchemeRun is one scheme's outcome on one workload.
+type SchemeRun struct {
+	Scheme    string
+	AvgIO     float64
+	TotalIO   uint64
+	MaxIO     uint64
+	Ops       int
+	Height    int
+	LabelBits int
+	Dist      []CCDFPoint
+}
+
+// WriteAvgTable prints the "amortized update cost" form of a figure.
+func WriteAvgTable(w io.Writer, title string, runs []SchemeRun) {
+	fmt.Fprintf(w, "# %s\n", title)
+	fmt.Fprintf(w, "%-12s %12s %12s %8s %7s %10s\n", "scheme", "avg_io/op", "total_io", "max_io", "height", "label_bits")
+	for _, r := range runs {
+		fmt.Fprintf(w, "%-12s %12.2f %12d %8d %7d %10d\n", r.Scheme, r.AvgIO, r.TotalIO, r.MaxIO, r.Height, r.LabelBits)
+	}
+}
+
+// WriteCCDF prints the distribution form of a figure: for each scheme the
+// fraction of operations exceeding each cost (log-log in the paper).
+func WriteCCDF(w io.Writer, title string, runs []SchemeRun) {
+	fmt.Fprintf(w, "# %s\n", title)
+	fmt.Fprintf(w, "%-12s %10s %14s\n", "scheme", "cost>", "frac_ops")
+	for _, r := range runs {
+		for _, p := range decimate(r.Dist, 24) {
+			fmt.Fprintf(w, "%-12s %10d %14.6f\n", r.Scheme, p.Cost, p.FracAbove)
+		}
+	}
+}
+
+// decimate thins a CCDF to at most n points while keeping endpoints.
+func decimate(pts []CCDFPoint, n int) []CCDFPoint {
+	if len(pts) <= n {
+		return pts
+	}
+	out := make([]CCDFPoint, 0, n)
+	step := float64(len(pts)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		out = append(out, pts[int(float64(i)*step+0.5)])
+	}
+	return out
+}

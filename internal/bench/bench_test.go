@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"boxes/internal/order"
+)
+
+// tinyConfig keeps unit-test runs fast.
+func tinyConfig() Config {
+	return Config{
+		BlockSize:   1024,
+		BaseElems:   400,
+		InsertElems: 120,
+		XMarkElems:  400,
+		XMarkPrime:  100,
+		Seed:        1,
+		NaiveKs:     []int{4, 16},
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	spec := WBoxSpec()
+	l, store, err := spec.New(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(store)
+	if _, err := l.BulkLoad(order.TagStreamFromPairs(50)); err != nil {
+		t.Fatal(err)
+	}
+	rec.Skip = 2
+	for i := 0; i < 5; i++ {
+		if err := rec.Do(func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rec.N() != 3 {
+		t.Fatalf("recorded %d ops, want 3 after skip", rec.N())
+	}
+	if rec.Avg() != 0 || rec.Max() != 0 {
+		t.Fatalf("no-op ops should cost 0: avg=%v max=%v", rec.Avg(), rec.Max())
+	}
+}
+
+func TestCCDFIsMonotone(t *testing.T) {
+	r := &Recorder{costs: []uint32{1, 1, 3, 7, 7, 7, 20}, total: 46}
+	pts := r.CCDF()
+	if len(pts) != 4 {
+		t.Fatalf("points = %d, want 4", len(pts))
+	}
+	prev := 1.1
+	for _, p := range pts {
+		if p.FracAbove >= prev {
+			t.Fatalf("CCDF not strictly decreasing: %+v", pts)
+		}
+		prev = p.FracAbove
+	}
+	if pts[len(pts)-1].FracAbove != 0 {
+		t.Fatalf("last point must have 0 above: %+v", pts)
+	}
+}
+
+func TestDecimateKeepsEndpoints(t *testing.T) {
+	var pts []CCDFPoint
+	for i := 0; i < 100; i++ {
+		pts = append(pts, CCDFPoint{Cost: uint64(i), FracAbove: float64(100-i) / 100})
+	}
+	out := decimate(pts, 10)
+	if len(out) != 10 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if out[0].Cost != 0 || out[9].Cost != 99 {
+		t.Fatalf("endpoints lost: %+v", out)
+	}
+}
+
+func TestConcentratedShape(t *testing.T) {
+	// The naive schemes' relabeling cost grows with the document size, so
+	// the paper's headline separation needs a document that is large
+	// relative to a block: 3000 base elements vs 1 KB blocks here.
+	cfg := tinyConfig()
+	cfg.BaseElems = 3000
+	cfg.InsertElems = 600
+	runs, err := RunConcentrated(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]SchemeRun{}
+	for _, r := range runs {
+		byName[r.Scheme] = r
+		if r.Ops != cfg.InsertElems {
+			t.Fatalf("%s recorded %d ops, want %d", r.Scheme, r.Ops, cfg.InsertElems)
+		}
+	}
+	// The headline result: every BOX beats every naive under concentrated
+	// insertion.
+	for _, box := range []string{"W-BOX", "W-BOX-O", "B-BOX", "B-BOX-O"} {
+		for _, nv := range []string{"naive-4", "naive-16"} {
+			if byName[box].AvgIO >= byName[nv].AvgIO {
+				t.Errorf("%s (%.2f) not cheaper than %s (%.2f) under concentrated insertion",
+					box, byName[box].AvgIO, nv, byName[nv].AvgIO)
+			}
+		}
+	}
+	// B-BOX (no materialized labels) beats W-BOX (which must relabel).
+	if byName["B-BOX"].AvgIO >= byName["W-BOX"].AvgIO {
+		t.Errorf("B-BOX (%.2f) not cheaper than W-BOX (%.2f)", byName["B-BOX"].AvgIO, byName["W-BOX"].AvgIO)
+	}
+}
+
+func TestScatteredShape(t *testing.T) {
+	cfg := tinyConfig()
+	runs, err := RunScattered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]SchemeRun{}
+	for _, r := range runs {
+		byName[r.Scheme] = r
+	}
+	// Scattered insertion is the naive schemes' best case: naive-16 must
+	// be cheap (constant-ish, no relabels to speak of).
+	if byName["naive-16"].AvgIO > 6 {
+		t.Errorf("naive-16 scattered avg = %.2f, expected small constant", byName["naive-16"].AvgIO)
+	}
+	// And the BOXes handle it gracefully too.
+	if byName["B-BOX"].AvgIO > 10 {
+		t.Errorf("B-BOX scattered avg = %.2f", byName["B-BOX"].AvgIO)
+	}
+}
+
+func TestXMarkRuns(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.NaiveKs = []int{16}
+	runs, err := RunXMark(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		if r.Ops <= 0 {
+			t.Fatalf("%s recorded no ops", r.Scheme)
+		}
+		if r.AvgIO <= 0 {
+			t.Fatalf("%s avg cost %v", r.Scheme, r.AvgIO)
+		}
+	}
+}
+
+func TestExperimentOutputs(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.NaiveKs = []int{4}
+	for name, f := range map[string]func(*bytes.Buffer) error{
+		"fig5":   func(b *bytes.Buffer) error { return Fig5(b, cfg) },
+		"fig6":   func(b *bytes.Buffer) error { return Fig6(b, cfg) },
+		"fig7":   func(b *bytes.Buffer) error { return Fig7(b, cfg) },
+		"fig8":   func(b *bytes.Buffer) error { return Fig8(b, cfg) },
+		"fig9":   func(b *bytes.Buffer) error { return Fig9(b, cfg) },
+		"tquery": func(b *bytes.Buffer) error { return QueryCost(b, cfg) },
+		"tbulk":  func(b *bytes.Buffer) error { return BulkVsElement(b, cfg) },
+		"tbits":  func(b *bytes.Buffer) error { return LabelBits(b, cfg) },
+	} {
+		var buf bytes.Buffer
+		if err := f(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := buf.String()
+		if !strings.HasPrefix(out, "# ") {
+			t.Fatalf("%s output lacks title: %q", name, out[:40])
+		}
+		if strings.Count(out, "\n") < 3 {
+			t.Fatalf("%s output too short:\n%s", name, out)
+		}
+	}
+}
+
+func TestBulkBeatsElementAtATime(t *testing.T) {
+	cfg := tinyConfig()
+	var buf bytes.Buffer
+	if err := BulkVsElement(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Parse the speedups: both must exceed 1x by a wide margin.
+	out := buf.String()
+	if !strings.Contains(out, "x") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	parsed := 0
+	for _, line := range strings.Split(out, "\n") {
+		var scheme string
+		var elem, bulk uint64
+		var speed float64
+		if n, _ := fmt.Sscanf(line, "%s %d %d %fx", &scheme, &elem, &bulk, &speed); n == 4 {
+			parsed++
+			if bulk >= elem {
+				t.Errorf("%s: bulk (%d) not cheaper than element-at-a-time (%d)", scheme, bulk, elem)
+			}
+			if speed < 2 {
+				t.Errorf("%s: speedup only %.1fx", scheme, speed)
+			}
+		}
+	}
+	if parsed != 2 {
+		t.Fatalf("parsed %d result rows, want 2:\n%s", parsed, out)
+	}
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"testing"
+
+	"boxes/internal/order"
+	"boxes/internal/wbox"
+	"boxes/internal/xmlgen"
+)
+
+// TestXMarkDocOrderBuildsTheDocument verifies that the element-at-a-time
+// build-up driver produces exactly the generated tree's document order:
+// after the run, span containment of the final labels must equal tree
+// ancestorship.
+func TestXMarkDocOrderBuildsTheDocument(t *testing.T) {
+	spec := WBoxSpec()
+	l, store, err := spec.New(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(store)
+	const n = 600
+	const seed = 21
+	if err := XMarkDocOrder(l, rec, n, seed); err != nil {
+		t.Fatal(err)
+	}
+	tree := xmlgen.XMark(n, seed)
+	if got := l.Count(); got != uint64(2*tree.Elements()) {
+		t.Fatalf("count = %d, want %d", got, 2*tree.Elements())
+	}
+
+	// Rebuild the LID mapping by replaying the driver deterministically.
+	l2, _, err := spec.New(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lidOf := map[*xmlgen.Node]order.ElemLIDs{}
+	var insertErr error
+	tree.Preorder(func(nd, parent *xmlgen.Node, _ int) {
+		if insertErr != nil {
+			return
+		}
+		if parent == nil {
+			e, err := l2.InsertFirstElement()
+			lidOf[nd] = e
+			insertErr = err
+			return
+		}
+		e, err := l2.InsertElementBefore(lidOf[parent].End)
+		lidOf[nd] = e
+		insertErr = err
+	})
+	if insertErr != nil {
+		t.Fatal(insertErr)
+	}
+	if err := l2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	wl := l2.(*wbox.Labeler)
+	// For sampled (ancestor, other) pairs, label containment must equal
+	// tree ancestorship.
+	nodes := tree.Nodes()
+	var contains func(a, b *xmlgen.Node) bool
+	contains = func(a, b *xmlgen.Node) bool {
+		for _, c := range a.Children {
+			if c == b || contains(c, b) {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < len(nodes); i += 37 {
+		for j := 1; j < len(nodes); j += 53 {
+			a, b := nodes[i], nodes[j]
+			if a == b {
+				continue
+			}
+			sa, ea, err := wl.LookupPair(lidOf[a].Start, lidOf[a].End)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb, eb, err := wl.LookupPair(lidOf[b].Start, lidOf[b].End)
+			if err != nil {
+				t.Fatal(err)
+			}
+			labelSays := sa < sb && eb < ea
+			treeSays := contains(a, b)
+			if labelSays != treeSays {
+				t.Fatalf("nodes %d,%d: labels say containment=%v, tree says %v", i, j, labelSays, treeSays)
+			}
+		}
+	}
+}
+
+// TestConcentratedMatchesOracle verifies the squeeze driver produces a
+// valid labeling end to end on a small instance.
+func TestConcentratedMatchesOracle(t *testing.T) {
+	for _, spec := range []SchemeSpec{WBoxSpec(), BBoxSpec(), NaiveSpec(8)} {
+		t.Run(spec.Name, func(t *testing.T) {
+			l, store, err := spec.New(1024)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := NewRecorder(store)
+			if err := Concentrated(l, rec, 200, 150); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if got := l.Count(); got != uint64(2*(200+150)) {
+				t.Fatalf("count = %d, want %d", got, 2*(200+150))
+			}
+		})
+	}
+}

@@ -1,0 +1,362 @@
+// Package core assembles the paper's system: a labeling Store that wires
+// an immutable-LID file, one of the dynamic labeling schemes (W-BOX,
+// W-BOX-O, B-BOX, naive-k), and optionally the Section 6 caching/logging
+// layer over a block store with I/O accounting.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"boxes/internal/bbox"
+	"boxes/internal/naive"
+	"boxes/internal/order"
+	"boxes/internal/pager"
+	"boxes/internal/query"
+	"boxes/internal/reflog"
+	"boxes/internal/wbox"
+	"boxes/internal/xmlgen"
+)
+
+// Scheme selects the dynamic labeling structure.
+type Scheme int
+
+const (
+	// SchemeWBox is the weight-balanced B-tree of Section 4: 1-I/O
+	// lookups, O(log_B N) amortized inserts.
+	SchemeWBox Scheme = iota
+	// SchemeWBoxO is W-BOX-O, optimized for retrieving start/end label
+	// pairs with a single structure I/O.
+	SchemeWBoxO
+	// SchemeBBox is the back-linked keyless B-tree of Section 5: O(1)
+	// amortized updates, O(log_B N) lookups.
+	SchemeBBox
+	// SchemeNaive is the gap-based baseline with global relabeling.
+	SchemeNaive
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeWBox:
+		return "W-BOX"
+	case SchemeWBoxO:
+		return "W-BOX-O"
+	case SchemeBBox:
+		return "B-BOX"
+	case SchemeNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Caching selects the lookup acceleration mode of Section 6.
+type Caching int
+
+const (
+	// CachingOff performs every lookup through the structure.
+	CachingOff Caching = iota
+	// CachingBasic caches label values with a single last-modified
+	// timestamp.
+	CachingBasic
+	// CachingLogged additionally keeps a FIFO log of recent modification
+	// effects and repairs cached values by replay.
+	CachingLogged
+)
+
+// Options configures a Store.
+type Options struct {
+	Scheme    Scheme
+	BlockSize int // default 8192, the paper's block size
+
+	// Ordinal enables ordinal labeling support (size fields). For B-BOX
+	// this is the B-BOX-O variant of the experiments.
+	Ordinal bool
+	// RelaxedFanout selects B-BOX's B/4 minimum fan-out (Section 5,
+	// mixed-workload variant).
+	RelaxedFanout bool
+	// NaiveK is the k of naive-k (required for SchemeNaive).
+	NaiveK int
+
+	Caching Caching
+	// LogK is the modification-log length for CachingLogged.
+	LogK int
+
+	// CacheBlocks enables a global LRU block cache of this many blocks
+	// (0 = off, matching the paper's experiments).
+	CacheBlocks int
+
+	// Backend overrides the block store backend (default: in-memory).
+	Backend pager.Backend
+}
+
+// Store is a dynamic order-based labeling service for one XML document.
+type Store struct {
+	opts    Options
+	store   *pager.Store
+	labeler order.Labeler
+	cache   *reflog.Cache
+}
+
+// Open creates an empty Store.
+func Open(opts Options) (*Store, error) {
+	if opts.BlockSize == 0 {
+		opts.BlockSize = pager.DefaultBlockSize
+	}
+	backend := opts.Backend
+	if backend == nil {
+		backend = pager.NewMemBackend(opts.BlockSize)
+	}
+	if backend.BlockSize() != opts.BlockSize {
+		return nil, fmt.Errorf("core: backend block size %d != %d", backend.BlockSize(), opts.BlockSize)
+	}
+	var popts []pager.Option
+	if opts.CacheBlocks > 0 {
+		popts = append(popts, pager.WithCache(opts.CacheBlocks))
+	}
+	store := pager.NewStore(backend, popts...)
+
+	var labeler order.Labeler
+	switch opts.Scheme {
+	case SchemeWBox, SchemeWBoxO:
+		variant := wbox.Basic
+		if opts.Scheme == SchemeWBoxO {
+			variant = wbox.PairOptimized
+		}
+		p, err := wbox.NewParams(opts.BlockSize, variant, opts.Ordinal)
+		if err != nil {
+			return nil, err
+		}
+		l, err := wbox.New(store, p)
+		if err != nil {
+			return nil, err
+		}
+		labeler = l
+	case SchemeBBox:
+		p, err := bbox.NewParams(opts.BlockSize, opts.Ordinal, opts.RelaxedFanout)
+		if err != nil {
+			return nil, err
+		}
+		l, err := bbox.New(store, p)
+		if err != nil {
+			return nil, err
+		}
+		labeler = l
+	case SchemeNaive:
+		l, err := naive.New(store, naive.Config{K: opts.NaiveK})
+		if err != nil {
+			return nil, err
+		}
+		labeler = l
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %v", opts.Scheme)
+	}
+
+	s := &Store{opts: opts, store: store, labeler: labeler}
+	if opts.Caching != CachingOff {
+		k := 0
+		if opts.Caching == CachingLogged {
+			k = opts.LogK
+			if k <= 0 {
+				k = 64
+			}
+		}
+		s.cache = reflog.NewCache(labeler, reflog.NewLog(k))
+	}
+	return s, nil
+}
+
+// Scheme reports the scheme in use.
+func (s *Store) Scheme() Scheme { return s.opts.Scheme }
+
+// Labeler exposes the underlying scheme for advanced use.
+func (s *Store) Labeler() order.Labeler { return s.labeler }
+
+// Cache returns the caching layer, or nil when caching is off.
+func (s *Store) Cache() *reflog.Cache { return s.cache }
+
+// EnableOrdinalCache attaches a caching+logging layer to the store's
+// ordinal labels (requires Ordinal support) with a logK-entry modification
+// log, and returns it. Ordinal effects are exact for every operation —
+// including bulk subtree insert/delete — so replay hit rates are typically
+// even higher than for regular labels.
+func (s *Store) EnableOrdinalCache(logK int) (*reflog.Cache, error) {
+	if !s.opts.Ordinal {
+		return nil, order.ErrNoOrdinal
+	}
+	if logK < 0 {
+		logK = 0
+	}
+	return reflog.NewOrdinalCache(s.labeler, reflog.NewLog(logK)), nil
+}
+
+// Stats returns the block I/O counters accumulated so far.
+func (s *Store) Stats() pager.IOStats { return s.store.Stats() }
+
+// ResetStats zeroes the I/O counters.
+func (s *Store) ResetStats() { s.store.ResetStats() }
+
+// Blocks reports the number of allocated blocks (structure + LIDF).
+func (s *Store) Blocks() uint64 { return s.store.NumBlocks() }
+
+// Count, Height, LabelBits, and the update operations delegate to the
+// scheme.
+
+func (s *Store) Count() uint64  { return s.labeler.Count() }
+func (s *Store) Height() int    { return s.labeler.Height() }
+func (s *Store) LabelBits() int { return s.labeler.LabelBits() }
+
+// Lookup returns the current label of lid.
+func (s *Store) Lookup(lid order.LID) (order.Label, error) { return s.labeler.Lookup(lid) }
+
+// LookupSpan returns both labels of an element. On W-BOX-O this costs two
+// I/Os total (LIDF + one leaf); elsewhere it is two lookups.
+func (s *Store) LookupSpan(e order.ElemLIDs) (query.Span, error) {
+	if wl, ok := s.labeler.(*wbox.Labeler); ok {
+		st, en, err := wl.LookupPair(e.Start, e.End)
+		if err != nil {
+			return query.Span{}, err
+		}
+		return query.Span{Start: st, End: en}, nil
+	}
+	if bl, ok := s.labeler.(*bbox.Labeler); ok {
+		st, en, err := bl.LookupPair(e.Start, e.End)
+		if err != nil {
+			return query.Span{}, err
+		}
+		return query.Span{Start: st, End: en}, nil
+	}
+	st, err := s.labeler.Lookup(e.Start)
+	if err != nil {
+		return query.Span{}, err
+	}
+	en, err := s.labeler.Lookup(e.End)
+	if err != nil {
+		return query.Span{}, err
+	}
+	return query.Span{Start: st, End: en}, nil
+}
+
+// InsertElementBefore inserts a new element immediately before the tag
+// identified by lidOld (previous sibling if lidOld is a start label, last
+// child if it is an end label).
+func (s *Store) InsertElementBefore(lidOld order.LID) (order.ElemLIDs, error) {
+	return s.labeler.InsertElementBefore(lidOld)
+}
+
+// InsertFirstElement bootstraps an empty document.
+func (s *Store) InsertFirstElement() (order.ElemLIDs, error) {
+	return s.labeler.InsertFirstElement()
+}
+
+// Delete removes one label.
+func (s *Store) Delete(lid order.LID) error { return s.labeler.Delete(lid) }
+
+// DeleteElement removes both labels of an element (its children become
+// children of its parent).
+func (s *Store) DeleteElement(e order.ElemLIDs) error {
+	if err := s.labeler.Delete(e.Start); err != nil {
+		return err
+	}
+	return s.labeler.Delete(e.End)
+}
+
+// DeleteSubtree removes an element and all its descendants.
+func (s *Store) DeleteSubtree(e order.ElemLIDs) error {
+	return s.labeler.DeleteSubtree(e.Start, e.End)
+}
+
+// InsertSubtreeBefore bulk-inserts a whole XML subtree immediately before
+// the tag identified by lidOld.
+func (s *Store) InsertSubtreeBefore(lidOld order.LID, tree *xmlgen.Tree) ([]order.ElemLIDs, error) {
+	return s.labeler.InsertSubtreeBefore(lidOld, tree.TagStream())
+}
+
+// Compare orders two tags by document position, returning -1, 0 or +1.
+// On B-BOX it uses the bottom-up lowest-common-ancestor walk of Section 5,
+// which costs fewer I/Os than two lookups when the tags are close; on the
+// other schemes it compares the two label values.
+func (s *Store) Compare(a, b order.LID) (int, error) {
+	if bl, ok := s.labeler.(*bbox.Labeler); ok {
+		return bl.CompareLIDs(a, b)
+	}
+	la, err := s.labeler.Lookup(a)
+	if err != nil {
+		return 0, err
+	}
+	lb, err := s.labeler.Lookup(b)
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case la < lb:
+		return -1, nil
+	case la > lb:
+		return 1, nil
+	default:
+		return 0, nil
+	}
+}
+
+// OrdinalLookup returns the exact document position of a tag (requires
+// Ordinal support).
+func (s *Store) OrdinalLookup(lid order.LID) (uint64, error) {
+	return s.labeler.OrdinalLookup(lid)
+}
+
+// CheckInvariants validates the structure (used by tests and boxload).
+func (s *Store) CheckInvariants() error { return s.labeler.CheckInvariants() }
+
+// Document couples a Store with the per-element LIDs of a loaded tree,
+// giving name-aware access for query processing.
+type Document struct {
+	Store *Store
+	Tree  *xmlgen.Tree
+	Elems []order.ElemLIDs // indexed by preorder element index
+}
+
+// Load bulk-loads tree into the store (which must be empty).
+func (s *Store) Load(tree *xmlgen.Tree) (*Document, error) {
+	if tree == nil || tree.Root == nil {
+		return nil, errors.New("core: empty tree")
+	}
+	elems, err := s.labeler.BulkLoad(tree.TagStream())
+	if err != nil {
+		return nil, err
+	}
+	return &Document{Store: s, Tree: tree, Elems: elems}, nil
+}
+
+// LabeledElems materializes (name, span) pairs for every element, in
+// document order — the input shape for the query package.
+func (d *Document) LabeledElems() ([]query.Elem, error) {
+	nodes := d.Tree.Nodes()
+	out := make([]query.Elem, len(nodes))
+	for i, n := range nodes {
+		span, err := d.Store.LookupSpan(d.Elems[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = query.Elem{Name: n.Name, Span: span}
+	}
+	query.SortByStart(out)
+	return out, nil
+}
+
+// SpansOf returns the spans of the elements with the given name.
+func (d *Document) SpansOf(name string) ([]query.Span, error) {
+	nodes := d.Tree.Nodes()
+	var out []query.Span
+	for i, n := range nodes {
+		if n.Name != name {
+			continue
+		}
+		span, err := d.Store.LookupSpan(d.Elems[i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, span)
+	}
+	query.SortSpansByStart(out)
+	return out, nil
+}

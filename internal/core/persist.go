@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"boxes/internal/pager"
+)
+
+// metaMarshaler is implemented by every labeling scheme: it captures the
+// in-memory bookkeeping (roots, counters, extent tables) that complements
+// the on-block data.
+type metaMarshaler interface {
+	MarshalMeta() []byte
+	RestoreMeta(data []byte) error
+}
+
+var metaMagic = [8]byte{'B', 'O', 'X', 'M', 'E', 'T', 'A', '1'}
+
+// ErrNoSavedStore is returned by OpenExisting when the backend holds no
+// saved metadata.
+var ErrNoSavedStore = errors.New("core: backend holds no saved store")
+
+// Save persists the store's metadata to the backend so that OpenExisting
+// can resume it later. The backend must implement pager.MetaRooter
+// (FileBackend does; MemBackend too, for tests). On a FileBackend the file
+// is also synced.
+func (s *Store) Save() error {
+	mr, ok := s.store.Backend().(pager.MetaRooter)
+	if !ok {
+		return errors.New("core: backend cannot persist metadata")
+	}
+	mm, ok := s.labeler.(metaMarshaler)
+	if !ok {
+		return fmt.Errorf("core: scheme %v cannot persist metadata", s.opts.Scheme)
+	}
+	old, err := mr.MetaRoot()
+	if err != nil {
+		return err
+	}
+	if old != pager.NilBlock {
+		if err := s.store.FreeBlob(old); err != nil {
+			return err
+		}
+	}
+	var buf bytes.Buffer
+	buf.Write(metaMagic[:])
+	binary.Write(&buf, binary.LittleEndian, uint8(s.opts.Scheme))
+	binary.Write(&buf, binary.LittleEndian, uint32(s.opts.BlockSize))
+	binary.Write(&buf, binary.LittleEndian, b2u8(s.opts.Ordinal))
+	binary.Write(&buf, binary.LittleEndian, b2u8(s.opts.RelaxedFanout))
+	binary.Write(&buf, binary.LittleEndian, uint32(s.opts.NaiveK))
+	buf.Write(mm.MarshalMeta())
+	head, err := s.store.WriteBlob(buf.Bytes())
+	if err != nil {
+		return err
+	}
+	if err := mr.SetMetaRoot(head); err != nil {
+		return err
+	}
+	if fb, ok := s.store.Backend().(*pager.FileBackend); ok {
+		return fb.Sync()
+	}
+	return nil
+}
+
+// OpenExisting resumes a store previously persisted with Save. Structural
+// options (scheme, block size, variant flags) come from the saved
+// metadata; only runtime options (caching mode, LRU size) are taken from
+// runtime.
+func OpenExisting(backend pager.Backend, runtime Options) (*Store, error) {
+	mr, ok := backend.(pager.MetaRooter)
+	if !ok {
+		return nil, errors.New("core: backend cannot persist metadata")
+	}
+	head, err := mr.MetaRoot()
+	if err != nil {
+		return nil, err
+	}
+	if head == pager.NilBlock {
+		return nil, ErrNoSavedStore
+	}
+	probe := pager.NewStore(backend)
+	blob, err := probe.ReadBlob(head)
+	if err != nil {
+		return nil, err
+	}
+	r := bytes.NewReader(blob)
+	var magic [8]byte
+	if _, err := r.Read(magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != metaMagic {
+		return nil, errors.New("core: saved metadata is corrupt (bad magic)")
+	}
+	var scheme uint8
+	var blockSize uint32
+	var ordinal, relaxed uint8
+	var naiveK uint32
+	if err := binary.Read(r, binary.LittleEndian, &scheme); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &blockSize); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &ordinal); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &relaxed); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &naiveK); err != nil {
+		return nil, err
+	}
+	if int(blockSize) != backend.BlockSize() {
+		return nil, fmt.Errorf("core: saved block size %d, backend has %d", blockSize, backend.BlockSize())
+	}
+	opts := Options{
+		Scheme:        Scheme(scheme),
+		BlockSize:     int(blockSize),
+		Ordinal:       ordinal == 1,
+		RelaxedFanout: relaxed == 1,
+		NaiveK:        int(naiveK),
+		Caching:       runtime.Caching,
+		LogK:          runtime.LogK,
+		CacheBlocks:   runtime.CacheBlocks,
+		Backend:       backend,
+	}
+	st, err := Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	rest := make([]byte, r.Len())
+	if _, err := r.Read(rest); err != nil {
+		return nil, err
+	}
+	mm, ok := st.labeler.(metaMarshaler)
+	if !ok {
+		return nil, fmt.Errorf("core: scheme %v cannot restore metadata", opts.Scheme)
+	}
+	if err := mm.RestoreMeta(rest); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func b2u8(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"sync"
+
+	"boxes/internal/order"
+	"boxes/internal/pager"
+	"boxes/internal/query"
+	"boxes/internal/xmlgen"
+)
+
+// SyncStore wraps a Store with a mutex so it can be shared by multiple
+// goroutines. The underlying structures are single-writer (the pager's
+// per-operation pinning is not reentrant), so every operation — including
+// lookups, which may refresh caches — is serialized. The paper leaves true
+// multi-user operation as future work; this wrapper makes the
+// single-writer discipline safe to use from concurrent code.
+type SyncStore struct {
+	mu sync.Mutex
+	st *Store
+}
+
+// NewSyncStore wraps st. The unwrapped Store must no longer be used
+// directly.
+func NewSyncStore(st *Store) *SyncStore { return &SyncStore{st: st} }
+
+// Unwrap returns the underlying Store; callers must hold no concurrent
+// operations while using it.
+func (s *SyncStore) Unwrap() *Store { return s.st }
+
+func (s *SyncStore) Scheme() Scheme {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.Scheme()
+}
+
+func (s *SyncStore) Stats() pager.IOStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.Stats()
+}
+
+func (s *SyncStore) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st.ResetStats()
+}
+
+func (s *SyncStore) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.Count()
+}
+
+func (s *SyncStore) Height() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.Height()
+}
+
+func (s *SyncStore) LabelBits() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.LabelBits()
+}
+
+func (s *SyncStore) Lookup(lid order.LID) (order.Label, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.Lookup(lid)
+}
+
+func (s *SyncStore) LookupSpan(e order.ElemLIDs) (query.Span, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.LookupSpan(e)
+}
+
+func (s *SyncStore) OrdinalLookup(lid order.LID) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.OrdinalLookup(lid)
+}
+
+func (s *SyncStore) InsertElementBefore(lidOld order.LID) (order.ElemLIDs, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.InsertElementBefore(lidOld)
+}
+
+func (s *SyncStore) InsertFirstElement() (order.ElemLIDs, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.InsertFirstElement()
+}
+
+func (s *SyncStore) Delete(lid order.LID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.Delete(lid)
+}
+
+func (s *SyncStore) DeleteElement(e order.ElemLIDs) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.DeleteElement(e)
+}
+
+func (s *SyncStore) DeleteSubtree(e order.ElemLIDs) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.DeleteSubtree(e)
+}
+
+func (s *SyncStore) InsertSubtreeBefore(lidOld order.LID, tree *xmlgen.Tree) ([]order.ElemLIDs, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.InsertSubtreeBefore(lidOld, tree)
+}
+
+func (s *SyncStore) Load(tree *xmlgen.Tree) (*Document, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.Load(tree)
+}
+
+func (s *SyncStore) CheckInvariants() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.CheckInvariants()
+}
+
+func (s *SyncStore) Save() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.Save()
+}

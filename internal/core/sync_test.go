@@ -1,0 +1,65 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"boxes/internal/xmlgen"
+)
+
+// TestSyncStoreConcurrentUse hammers a SyncStore from several goroutines;
+// run under -race this verifies the serialization wrapper.
+func TestSyncStoreConcurrentUse(t *testing.T) {
+	base, err := Open(Options{Scheme: SchemeBBox, BlockSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewSyncStore(base)
+	doc, err := st.Load(xmlgen.TwoLevel(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					if _, err := st.Lookup(doc.Elems[(g*53+i)%500].Start); err != nil {
+						errCh <- err
+						return
+					}
+				case 1:
+					if _, err := st.LookupSpan(doc.Elems[(g*31+i)%500]); err != nil {
+						errCh <- err
+						return
+					}
+				default:
+					e, err := st.InsertElementBefore(doc.Elems[(g*17+i)%500].Start)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if err := st.DeleteElement(e); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if st.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", st.Count())
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

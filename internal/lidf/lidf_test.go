@@ -1,0 +1,277 @@
+package lidf
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"boxes/internal/order"
+	"boxes/internal/pager"
+)
+
+func newFile(t *testing.T, blockSize, payload int) *File {
+	t.Helper()
+	f, err := New(pager.NewMemStore(blockSize), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestAllocSetGet(t *testing.T) {
+	f := newFile(t, 256, 8)
+	lid, err := f.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lid == order.NilLID {
+		t.Fatal("allocated NilLID")
+	}
+	if err := f.SetU64(lid, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.GetU64(lid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xDEADBEEF {
+		t.Fatalf("got %x", v)
+	}
+	if f.Count() != 1 {
+		t.Fatalf("count = %d", f.Count())
+	}
+}
+
+func TestGetUnknownLID(t *testing.T) {
+	f := newFile(t, 256, 8)
+	if _, err := f.Get(1); !errors.Is(err, order.ErrUnknownLID) {
+		t.Fatalf("err = %v, want ErrUnknownLID", err)
+	}
+	if _, err := f.Get(order.NilLID); !errors.Is(err, order.ErrUnknownLID) {
+		t.Fatalf("err = %v, want ErrUnknownLID", err)
+	}
+	lid, _ := f.Alloc()
+	f.Free(lid)
+	if _, err := f.Get(lid); !errors.Is(err, order.ErrUnknownLID) {
+		t.Fatalf("freed get err = %v, want ErrUnknownLID", err)
+	}
+}
+
+func TestFreeListReuse(t *testing.T) {
+	f := newFile(t, 256, 8)
+	var lids []order.LID
+	for i := 0; i < 10; i++ {
+		lid, err := f.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lids = append(lids, lid)
+	}
+	blocksBefore := f.Blocks()
+	for _, lid := range lids[3:7] {
+		if err := f.Free(lid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Count() != 6 {
+		t.Fatalf("count = %d, want 6", f.Count())
+	}
+	seen := map[order.LID]bool{}
+	for i := 0; i < 4; i++ {
+		lid, err := f.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lid < lids[3] || lid > lids[6] {
+			t.Fatalf("alloc %d did not reuse freed range %d..%d", lid, lids[3], lids[6])
+		}
+		if seen[lid] {
+			t.Fatalf("lid %d handed out twice", lid)
+		}
+		seen[lid] = true
+	}
+	if f.Blocks() != blocksBefore {
+		t.Fatalf("blocks grew from %d to %d despite free list", blocksBefore, f.Blocks())
+	}
+}
+
+func TestReusedRecordIsZeroed(t *testing.T) {
+	f := newFile(t, 256, 16)
+	lid, _ := f.Alloc()
+	if err := f.Set(lid, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}); err != nil {
+		t.Fatal(err)
+	}
+	f.Free(lid)
+	lid2, _ := f.Alloc()
+	if lid2 != lid {
+		t.Fatalf("expected reuse")
+	}
+	p, err := f.Get(lid2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range p {
+		if b != 0 {
+			t.Fatalf("byte %d = %d, want 0", i, b)
+		}
+	}
+}
+
+func TestAllocPairAdjacency(t *testing.T) {
+	f := newFile(t, 1024, 8) // 113 records per block
+	for i := 0; i < 50; i++ {
+		s, e, err := f.AllocPair()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e != s+1 {
+			t.Fatalf("pair not adjacent: %d, %d", s, e)
+		}
+	}
+}
+
+func TestLIDStabilityAcrossOtherUpdates(t *testing.T) {
+	f := newFile(t, 256, 8)
+	anchor, _ := f.Alloc()
+	f.SetU64(anchor, 777)
+	for i := 0; i < 100; i++ {
+		lid, _ := f.Alloc()
+		f.SetU64(lid, uint64(i))
+		if i%3 == 0 {
+			f.Free(lid)
+		}
+	}
+	v, err := f.GetU64(anchor)
+	if err != nil || v != 777 {
+		t.Fatalf("anchor disturbed: v=%d err=%v", v, err)
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	// With heavy churn, the number of blocks stays proportional to the
+	// live record count, not to the total number of allocations.
+	f := newFile(t, 1024, 8) // 113 per block
+	var live []order.LID
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 100; i++ {
+			lid, err := f.Alloc()
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, lid)
+		}
+		for i := 0; i < 100 && len(live) > 0; i++ {
+			lid := live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := f.Free(lid); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if f.Blocks() > 3 {
+		t.Fatalf("LIDF not compact: %d blocks for %d live records", f.Blocks(), f.Count())
+	}
+}
+
+func TestSetTooLarge(t *testing.T) {
+	f := newFile(t, 256, 8)
+	lid, _ := f.Alloc()
+	if err := f.Set(lid, make([]byte, 9)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(pager.NewMemStore(256), 4); err == nil {
+		t.Fatal("payload < 8 accepted")
+	}
+	if _, err := New(pager.NewMemStore(16), 64); err == nil {
+		t.Fatal("record larger than block accepted")
+	}
+}
+
+func TestLive(t *testing.T) {
+	f := newFile(t, 256, 8)
+	ok, err := f.Live(1)
+	if err != nil || ok {
+		t.Fatalf("Live(1) = %v, %v", ok, err)
+	}
+	lid, _ := f.Alloc()
+	ok, err = f.Live(lid)
+	if err != nil || !ok {
+		t.Fatalf("Live(alloc) = %v, %v", ok, err)
+	}
+	f.Free(lid)
+	ok, err = f.Live(lid)
+	if err != nil || ok {
+		t.Fatalf("Live(freed) = %v, %v", ok, err)
+	}
+}
+
+// Property: arbitrary alloc/free/set sequences never alias two live
+// records and always read back the last value written.
+func TestQuickAllocFreeSetGet(t *testing.T) {
+	type op struct {
+		Kind byte
+		Val  uint64
+	}
+	f := func(ops []op) bool {
+		file, err := New(pager.NewMemStore(512), 8)
+		if err != nil {
+			return false
+		}
+		model := make(map[order.LID]uint64)
+		var lids []order.LID
+		for _, o := range ops {
+			switch o.Kind % 3 {
+			case 0: // alloc
+				lid, err := file.Alloc()
+				if err != nil {
+					return false
+				}
+				if _, exists := model[lid]; exists {
+					return false // aliased a live record
+				}
+				model[lid] = 0
+				lids = append(lids, lid)
+			case 1: // set
+				if len(lids) == 0 {
+					continue
+				}
+				lid := lids[o.Val%uint64(len(lids))]
+				if _, live := model[lid]; !live {
+					continue
+				}
+				if err := file.SetU64(lid, o.Val); err != nil {
+					return false
+				}
+				model[lid] = o.Val
+			case 2: // free
+				if len(lids) == 0 {
+					continue
+				}
+				lid := lids[o.Val%uint64(len(lids))]
+				if _, live := model[lid]; !live {
+					continue
+				}
+				if err := file.Free(lid); err != nil {
+					return false
+				}
+				delete(model, lid)
+			}
+		}
+		if file.Count() != uint64(len(model)) {
+			return false
+		}
+		for lid, want := range model {
+			got, err := file.GetU64(lid)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,324 @@
+package naive
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"boxes/internal/order"
+	"boxes/internal/pager"
+	"boxes/internal/xmlgen"
+)
+
+func newLabeler(t *testing.T, k int) (*Labeler, *pager.Store) {
+	t.Helper()
+	store := pager.NewMemStore(1024)
+	l, err := New(store, Config{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, store
+}
+
+func TestNewValidation(t *testing.T) {
+	store := pager.NewMemStore(1024)
+	if _, err := New(store, Config{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := New(store, Config{K: 4, CapacityBits: 200}); err == nil {
+		t.Fatal("CapacityBits=200 accepted")
+	}
+}
+
+func TestInsertFirstAndLookup(t *testing.T) {
+	l, _ := newLabeler(t, 4)
+	e, err := l.InsertFirstElement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := l.Lookup(e.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := l.Lookup(e.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s >= en {
+		t.Fatalf("start %d >= end %d", s, en)
+	}
+	if l.Count() != 2 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadValidLabeling(t *testing.T) {
+	l, _ := newLabeler(t, 8)
+	tree := xmlgen.XMark(500, 1)
+	tags := tree.TagStream()
+	elems, err := l.BulkLoad(tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := order.NewOracle()
+	lids := make([]order.LID, len(tags))
+	for i, tg := range tags {
+		if tg.Start {
+			lids[i] = elems[tg.Elem].Start
+		} else {
+			lids[i] = elems[tg.Elem].End
+		}
+	}
+	o.Load(lids)
+	if err := o.CheckAgainst(l, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcentratedInsertsTriggerRelabels(t *testing.T) {
+	l, _ := newLabeler(t, 2)
+	e, err := l.InsertFirstElement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeatedly insert as last child: squeezes into the gap before End.
+	for i := 0; i < 50; i++ {
+		if _, err := l.InsertElementBefore(e.End); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Relabels() == 0 {
+		t.Fatal("concentrated insertion never triggered a relabel with k=2")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatteredInsertsAvoidRelabels(t *testing.T) {
+	l, _ := newLabeler(t, 8)
+	tags := order.TagStreamFromPairs(100)
+	elems, err := l.BulkLoad(tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One insert in front of each existing element: every gap is 2^8,
+	// so midpoints always exist.
+	for _, e := range elems[1:] {
+		if _, err := l.InsertElementBefore(e.Start); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Relabels() != 0 {
+		t.Fatalf("scattered inserts relabeled %d times with k=8", l.Relabels())
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBigLabels(t *testing.T) {
+	store := pager.NewMemStore(8192)
+	l, err := New(store, Config{K: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := l.InsertFirstElement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Lookup(e.End); !errors.Is(err, order.ErrLabelOverflow) {
+		t.Fatalf("Lookup err = %v, want ErrLabelOverflow", err)
+	}
+	b, err := l.LookupBig(e.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.BitLen() != 66 { // 2 << 64 = 2^65
+		t.Fatalf("end label bitlen = %d, want 66", b.BitLen())
+	}
+	if got, want := l.LabelBits(), 32+64; got != want {
+		t.Fatalf("LabelBits = %d, want %d", got, want)
+	}
+}
+
+func TestDeleteMergesGaps(t *testing.T) {
+	l, _ := newLabeler(t, 4)
+	tags := order.TagStreamFromPairs(20)
+	elems, err := l.BulkLoad(tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := elems[5]
+	if err := l.Delete(victim.Start); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Delete(victim.End); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Lookup(victim.Start); !errors.Is(err, order.ErrUnknownLID) {
+		t.Fatalf("deleted lookup err = %v", err)
+	}
+	if err := l.Delete(victim.Start); !errors.Is(err, order.ErrUnknownLID) {
+		t.Fatalf("double delete err = %v", err)
+	}
+}
+
+func TestSubtreeInsertWithinGap(t *testing.T) {
+	l, _ := newLabeler(t, 10) // gaps of 1024: plenty of room
+	base := order.TagStreamFromPairs(10)
+	elems, err := l.BulkLoad(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := xmlgen.TwoLevel(50).TagStream()
+	if _, err := l.InsertSubtreeBefore(elems[3].Start, sub); err != nil {
+		t.Fatal(err)
+	}
+	if l.Relabels() != 0 {
+		t.Fatalf("subtree fitting in gap caused %d relabels", l.Relabels())
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Count() != uint64(len(base)+len(sub)) {
+		t.Fatalf("count = %d", l.Count())
+	}
+}
+
+func TestSubtreeInsertOverflowingGapRelabels(t *testing.T) {
+	l, _ := newLabeler(t, 2) // gaps of 4: too small for 50 labels
+	base := order.TagStreamFromPairs(10)
+	elems, err := l.BulkLoad(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := xmlgen.TwoLevel(25).TagStream()
+	if _, err := l.InsertSubtreeBefore(elems[3].Start, sub); err != nil {
+		t.Fatal(err)
+	}
+	if l.Relabels() != 1 {
+		t.Fatalf("relabels = %d, want 1", l.Relabels())
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteSubtree(t *testing.T) {
+	l, _ := newLabeler(t, 6)
+	tree := xmlgen.XMark(200, 5)
+	tags := tree.TagStream()
+	elems, err := l.BulkLoad(tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete the subtree of the second top-level element (element index
+	// of "regions" is 1 in preorder).
+	if err := l.DeleteSubtree(elems[1].Start, elems[1].End); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Count() >= uint64(len(tags)) {
+		t.Fatalf("count did not shrink: %d", l.Count())
+	}
+}
+
+func TestDeleteSubtreeRejectsBadRange(t *testing.T) {
+	l, _ := newLabeler(t, 6)
+	elems, err := l.BulkLoad(order.TagStreamFromPairs(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// end before start in document order
+	if err := l.DeleteSubtree(elems[0].End, elems[0].Start); err == nil {
+		t.Fatal("reversed range accepted")
+	}
+}
+
+func TestOrdinalUnsupported(t *testing.T) {
+	l, _ := newLabeler(t, 4)
+	e, _ := l.InsertFirstElement()
+	if _, err := l.OrdinalLookup(e.Start); !errors.Is(err, order.ErrNoOrdinal) {
+		t.Fatalf("err = %v, want ErrNoOrdinal", err)
+	}
+}
+
+// Property: random insert/delete sequences preserve a valid labeling (the
+// oracle sees identical order), for small k (frequent relabels) and large.
+func TestQuickRandomOpsValidLabeling(t *testing.T) {
+	f := func(seed int64, kSel uint8) bool {
+		k := []int{1, 2, 4, 8}[kSel%4]
+		store := pager.NewMemStore(1024)
+		l, err := New(store, Config{K: k})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		o := order.NewOracle()
+		e, err := l.InsertFirstElement()
+		if err != nil {
+			return false
+		}
+		if err := o.InsertFirstElement(e); err != nil {
+			return false
+		}
+		live := []order.ElemLIDs{e}
+		for i := 0; i < 120; i++ {
+			switch {
+			case len(live) > 1 && rng.Intn(4) == 0:
+				// delete a random non-root element's labels
+				idx := 1 + rng.Intn(len(live)-1)
+				v := live[idx]
+				if err := l.Delete(v.Start); err != nil {
+					return false
+				}
+				if err := l.Delete(v.End); err != nil {
+					return false
+				}
+				if err := o.Delete(v.Start); err != nil {
+					return false
+				}
+				if err := o.Delete(v.End); err != nil {
+					return false
+				}
+				live = append(live[:idx], live[idx+1:]...)
+			default:
+				target := live[rng.Intn(len(live))]
+				var anchor order.LID
+				if rng.Intn(2) == 0 {
+					anchor = target.Start
+				} else {
+					anchor = target.End
+				}
+				ne, err := l.InsertElementBefore(anchor)
+				if err != nil {
+					return false
+				}
+				if err := o.InsertElementBefore(ne, anchor); err != nil {
+					return false
+				}
+				live = append(live, ne)
+			}
+		}
+		if err := o.CheckAgainst(l, false); err != nil {
+			return false
+		}
+		return l.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

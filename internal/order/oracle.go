@@ -1,0 +1,156 @@
+package order
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Oracle is a trivially correct in-memory reference model of a maintained
+// ordered list of labels. Tests drive a Labeler and the Oracle with the
+// same operations and then check that the Labeler's labels order its LIDs
+// exactly as the Oracle does, and that ordinal labels equal Oracle
+// positions. It is O(n) per operation and meant only for testing.
+type Oracle struct {
+	lids []LID
+}
+
+// NewOracle returns an empty oracle.
+func NewOracle() *Oracle { return &Oracle{} }
+
+// Load initializes the oracle with lids in document order.
+func (o *Oracle) Load(lids []LID) {
+	o.lids = append(o.lids[:0], lids...)
+}
+
+// Len returns the number of labels.
+func (o *Oracle) Len() int { return len(o.lids) }
+
+// LIDs returns the labels' LIDs in document order. The returned slice is
+// the oracle's own storage; callers must not modify it.
+func (o *Oracle) LIDs() []LID { return o.lids }
+
+// Position returns the 0-based position of lid, or -1 if absent.
+func (o *Oracle) Position(lid LID) int {
+	for i, l := range o.lids {
+		if l == lid {
+			return i
+		}
+	}
+	return -1
+}
+
+// InsertBefore records that newLID was inserted immediately before oldLID.
+func (o *Oracle) InsertBefore(newLID, oldLID LID) error {
+	p := o.Position(oldLID)
+	if p < 0 {
+		return fmt.Errorf("oracle: unknown LID %d", oldLID)
+	}
+	o.lids = append(o.lids, 0)
+	copy(o.lids[p+1:], o.lids[p:])
+	o.lids[p] = newLID
+	return nil
+}
+
+// InsertElementBefore records an element insertion: start then end,
+// immediately before oldLID.
+func (o *Oracle) InsertElementBefore(e ElemLIDs, oldLID LID) error {
+	if err := o.InsertBefore(e.End, oldLID); err != nil {
+		return err
+	}
+	return o.InsertBefore(e.Start, e.End)
+}
+
+// InsertFirstElement records the bootstrap insertion into an empty list.
+func (o *Oracle) InsertFirstElement(e ElemLIDs) error {
+	if len(o.lids) != 0 {
+		return fmt.Errorf("oracle: not empty")
+	}
+	o.lids = []LID{e.Start, e.End}
+	return nil
+}
+
+// Delete removes lid.
+func (o *Oracle) Delete(lid LID) error {
+	p := o.Position(lid)
+	if p < 0 {
+		return fmt.Errorf("oracle: unknown LID %d", lid)
+	}
+	o.lids = append(o.lids[:p], o.lids[p+1:]...)
+	return nil
+}
+
+// DeleteRange removes the contiguous range from start to end inclusive.
+func (o *Oracle) DeleteRange(start, end LID) error {
+	i, j := o.Position(start), o.Position(end)
+	if i < 0 || j < 0 || i > j {
+		return fmt.Errorf("oracle: bad range %d..%d (%d..%d)", start, end, i, j)
+	}
+	o.lids = append(o.lids[:i], o.lids[j+1:]...)
+	return nil
+}
+
+// InsertSliceBefore inserts lids (in order) immediately before oldLID.
+func (o *Oracle) InsertSliceBefore(lids []LID, oldLID LID) error {
+	p := o.Position(oldLID)
+	if p < 0 {
+		return fmt.Errorf("oracle: unknown LID %d", oldLID)
+	}
+	out := make([]LID, 0, len(o.lids)+len(lids))
+	out = append(out, o.lids[:p]...)
+	out = append(out, lids...)
+	out = append(out, o.lids[p:]...)
+	o.lids = out
+	return nil
+}
+
+// CheckAgainst verifies that the labeler assigns strictly increasing labels
+// along the oracle's document order, and (if ordinals are enabled) that
+// ordinal labels equal oracle positions.
+func (o *Oracle) CheckAgainst(l Labeler, checkOrdinals bool) error {
+	if got := l.Count(); got != uint64(len(o.lids)) {
+		return fmt.Errorf("oracle: labeler holds %d labels, oracle %d", got, len(o.lids))
+	}
+	bl, isBig := l.(BigLabeler)
+	var prevBig *big.Int
+	var prev Label
+	for i, lid := range o.lids {
+		if isBig {
+			lab, err := bl.LookupBig(lid)
+			if err != nil {
+				return fmt.Errorf("oracle: big lookup of lid %d (pos %d): %w", lid, i, err)
+			}
+			if i > 0 && lab.Cmp(prevBig) <= 0 {
+				return fmt.Errorf("oracle: labels out of order at pos %d: %v <= %v", i, lab, prevBig)
+			}
+			prevBig = lab
+			if checkOrdinals {
+				ord, err := l.OrdinalLookup(lid)
+				if err != nil {
+					return fmt.Errorf("oracle: ordinal lookup of lid %d (pos %d): %w", lid, i, err)
+				}
+				if ord != uint64(i) {
+					return fmt.Errorf("oracle: ordinal of lid %d = %d, want %d", lid, ord, i)
+				}
+			}
+			continue
+		}
+		lab, err := l.Lookup(lid)
+		if err != nil {
+			return fmt.Errorf("oracle: lookup of lid %d (pos %d): %w", lid, i, err)
+		}
+		if i > 0 && lab <= prev {
+			return fmt.Errorf("oracle: labels out of order at pos %d: %d <= %d", i, lab, prev)
+		}
+		prev = lab
+		if checkOrdinals {
+			ord, err := l.OrdinalLookup(lid)
+			if err != nil {
+				return fmt.Errorf("oracle: ordinal lookup of lid %d (pos %d): %w", lid, i, err)
+			}
+			if ord != uint64(i) {
+				return fmt.Errorf("oracle: ordinal of lid %d = %d, want %d", lid, ord, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+// Package order defines the types shared by every dynamic labeling scheme
+// in this repository: immutable label IDs (LIDs), labels, the tag streams
+// used for bulk loading, and the Labeler interface that W-BOX, B-BOX, and
+// the naive baseline all implement.
+//
+// Terminology follows the paper. An XML element e carries a pair of labels
+// (start, end); a *valid* labeling orders labels exactly as the
+// corresponding tags appear in the document. Labels are dynamic — they may
+// change on updates — so every label is reached through an immutable LID,
+// a record number in the LIDF heap file (package lidf).
+package order
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// LID is an immutable label identifier: the record number of the label's
+// slot in the LIDF. The zero value is reserved and never identifies a
+// label.
+type LID uint64
+
+// NilLID is the invalid LID.
+const NilLID LID = 0
+
+// Label is a dynamic label value. For W-BOX and naive-k it is the label
+// integer itself; for B-BOX it is the packed component vector (see package
+// bbox), which compares correctly as an unsigned integer among labels
+// obtained at the same point in time.
+type Label = uint64
+
+// ElemLIDs holds the pair of LIDs assigned to one element.
+type ElemLIDs struct {
+	Start LID
+	End   LID
+}
+
+// Tag is one start or end tag in a document tag stream. Elem identifies
+// the element within the stream (indices are local to the stream) so that
+// bulk loading can pair each start tag with its end tag.
+type Tag struct {
+	Elem  int32
+	Start bool
+}
+
+// TagStreamFromPairs builds the canonical nested tag stream
+// <0><1></1><2></2>...</0> used in tests.
+func TagStreamFromPairs(n int) []Tag {
+	tags := make([]Tag, 0, 2*n)
+	tags = append(tags, Tag{Elem: 0, Start: true})
+	for i := 1; i < n; i++ {
+		tags = append(tags, Tag{Elem: int32(i), Start: true}, Tag{Elem: int32(i), Start: false})
+	}
+	tags = append(tags, Tag{Elem: 0, Start: false})
+	return tags
+}
+
+// ValidateTagStream checks that tags form a well-formed document: every
+// element has exactly one start and one end tag, properly nested, with the
+// start first.
+func ValidateTagStream(tags []Tag) error {
+	if len(tags) == 0 {
+		return errors.New("order: empty tag stream")
+	}
+	if len(tags)%2 != 0 {
+		return errors.New("order: odd number of tags")
+	}
+	var stack []int32
+	seen := make(map[int32]int, len(tags)/2)
+	for i, t := range tags {
+		if t.Start {
+			if seen[t.Elem] != 0 {
+				return fmt.Errorf("order: tag %d: element %d started twice", i, t.Elem)
+			}
+			seen[t.Elem] = 1
+			stack = append(stack, t.Elem)
+		} else {
+			if len(stack) == 0 {
+				return fmt.Errorf("order: tag %d: end tag with empty stack", i)
+			}
+			top := stack[len(stack)-1]
+			if top != t.Elem {
+				return fmt.Errorf("order: tag %d: end of %d does not match open %d", i, t.Elem, top)
+			}
+			if seen[t.Elem] != 1 {
+				return fmt.Errorf("order: tag %d: element %d ended in state %d", i, t.Elem, seen[t.Elem])
+			}
+			seen[t.Elem] = 2
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("order: %d elements left open", len(stack))
+	}
+	return nil
+}
+
+// Errors shared by the labeling schemes.
+var (
+	// ErrUnknownLID is returned when a LID does not identify a live label.
+	ErrUnknownLID = errors.New("order: unknown or deleted LID")
+	// ErrNotEmpty is returned by bulk-loading into a non-empty structure.
+	ErrNotEmpty = errors.New("order: structure is not empty")
+	// ErrEmpty is returned by operations that need an existing label when
+	// the structure is empty.
+	ErrEmpty = errors.New("order: structure is empty")
+	// ErrLabelOverflow is returned when a label no longer fits the
+	// scheme's label width (e.g. the W-BOX range would exceed 64 bits).
+	ErrLabelOverflow = errors.New("order: label width exhausted")
+	// ErrNoOrdinal is returned by OrdinalLookup on a structure built
+	// without ordinal support.
+	ErrNoOrdinal = errors.New("order: ordinal labeling support not enabled")
+)
+
+// UpdateLogger receives a succinct description of every change a labeling
+// scheme makes to existing label values. The caching-and-logging layer of
+// Section 6 (package reflog) implements it to keep cached label values
+// repairable without I/O.
+type UpdateLogger interface {
+	// LogShift records that every label in [lo, hi] changed by delta.
+	LogShift(lo, hi Label, delta int64)
+	// LogInvalidate records that labels in [lo, hi] changed in a way that
+	// cannot be described succinctly; cached values in the range must be
+	// re-fetched.
+	LogInvalidate(lo, hi Label)
+}
+
+// LoggingLabeler is implemented by schemes that can report label-value
+// changes to an UpdateLogger.
+type LoggingLabeler interface {
+	SetLogger(lg UpdateLogger)
+}
+
+// OrdinalLoggingLabeler is implemented by schemes with ordinal support
+// that can report ordinal-label changes to an UpdateLogger. Ordinal
+// effects are particularly succinct — an insertion at ordinal position o
+// is exactly "[o, ∞): +1" (the paper's example "[142857, ∞): +2") and
+// structural reorganizations never change ordinals at all.
+type OrdinalLoggingLabeler interface {
+	SetOrdinalLogger(lg UpdateLogger)
+}
+
+// BigLabeler is implemented by schemes whose labels can exceed 64 bits
+// (naive-k for large k). Lookup on such schemes returns ErrLabelOverflow
+// for oversized labels; LookupBig always works.
+type BigLabeler interface {
+	LookupBig(lid LID) (*big.Int, error)
+}
+
+// Labeler is the operational interface shared by W-BOX, B-BOX and naive-k.
+// It corresponds one-to-one with the "Supported operations" list in
+// Section 3 of the paper, plus the bulk operations of Sections 4 and 5.
+type Labeler interface {
+	// Lookup returns the current value of the label identified by lid.
+	Lookup(lid LID) (Label, error)
+
+	// InsertBefore inserts a new label immediately before the label
+	// identified by lidOld and returns its LID. This is the low-level
+	// operation the paper calls insert-before.
+	InsertBefore(lidOld LID) (LID, error)
+
+	// InsertElementBefore inserts a new element (a start/end label pair)
+	// immediately before the tag identified by lidOld: if lidOld is a
+	// start label the new element becomes the previous sibling; if it is
+	// an end label the new element becomes the last child.
+	InsertElementBefore(lidOld LID) (ElemLIDs, error)
+
+	// InsertFirstElement bootstraps an empty structure with a single
+	// element (used when a document is built element-at-a-time from
+	// scratch, as in the XMark experiment).
+	InsertFirstElement() (ElemLIDs, error)
+
+	// Delete removes the label identified by lid.
+	Delete(lid LID) error
+
+	// BulkLoad builds the structure from a well-formed document tag
+	// stream; the structure must be empty. The returned slice maps each
+	// element index in the stream to its LID pair.
+	BulkLoad(tags []Tag) ([]ElemLIDs, error)
+
+	// InsertSubtreeBefore bulk-inserts a whole subtree (given as a tag
+	// stream) immediately before the tag identified by lidOld.
+	InsertSubtreeBefore(lidOld LID, tags []Tag) ([]ElemLIDs, error)
+
+	// DeleteSubtree removes the contiguous label range
+	// [label(start), label(end)], i.e. an element and all its
+	// descendants. start and end must be the LIDs of one element's
+	// start and end labels.
+	DeleteSubtree(start, end LID) error
+
+	// OrdinalLookup returns the exact ordinal position of the tag in the
+	// document (0-based), for structures built with ordinal support.
+	OrdinalLookup(lid LID) (uint64, error)
+
+	// Count returns the number of live labels.
+	Count() uint64
+
+	// LabelBits returns the number of bits a label of this structure
+	// currently requires (the paper's "length of a label" metric).
+	LabelBits() int
+
+	// Height returns the current tree height (1 = leaves only); the
+	// naive scheme reports 1.
+	Height() int
+
+	// CheckInvariants validates every structural invariant the scheme
+	// promises, returning the first violation. It is used heavily by the
+	// property-based tests.
+	CheckInvariants() error
+}

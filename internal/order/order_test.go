@@ -1,0 +1,108 @@
+package order
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTagStreamFromPairs(t *testing.T) {
+	tags := TagStreamFromPairs(3)
+	if len(tags) != 6 {
+		t.Fatalf("len = %d, want 6", len(tags))
+	}
+	if err := ValidateTagStream(tags); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateTagStreamRejectsBadStreams(t *testing.T) {
+	cases := []struct {
+		name string
+		tags []Tag
+	}{
+		{"empty", nil},
+		{"odd", []Tag{{0, true}}},
+		{"unclosed", []Tag{{0, true}, {1, true}}},
+		{"crossing", []Tag{{0, true}, {1, true}, {0, false}, {1, false}}},
+		{"end-first", []Tag{{0, false}, {0, true}}},
+		{"double-start", []Tag{{0, true}, {0, true}, {0, false}, {0, false}}},
+	}
+	for _, c := range cases {
+		if err := ValidateTagStream(c.tags); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestValidateTagStreamAcceptsNesting(t *testing.T) {
+	tags := []Tag{
+		{0, true},
+		{1, true}, {2, true}, {2, false}, {1, false},
+		{3, true}, {3, false},
+		{0, false},
+	}
+	if err := ValidateTagStream(tags); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateQuickGeneratedPairs(t *testing.T) {
+	f := func(n uint8) bool {
+		m := int(n%50) + 1
+		return ValidateTagStream(TagStreamFromPairs(m)) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracleInsertDelete(t *testing.T) {
+	o := NewOracle()
+	if err := o.InsertFirstElement(ElemLIDs{Start: 1, End: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// New last child of element (1,2): insert before end LID 2.
+	if err := o.InsertElementBefore(ElemLIDs{Start: 3, End: 4}, 2); err != nil {
+		t.Fatal(err)
+	}
+	// New previous sibling of (3,4): insert before its start LID 3.
+	if err := o.InsertElementBefore(ElemLIDs{Start: 5, End: 6}, 3); err != nil {
+		t.Fatal(err)
+	}
+	want := []LID{1, 5, 6, 3, 4, 2}
+	got := o.LIDs()
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if err := o.DeleteRange(5, 6); err != nil {
+		t.Fatal(err)
+	}
+	if o.Len() != 4 || o.Position(5) != -1 || o.Position(3) != 1 {
+		t.Fatalf("after range delete: %v", o.LIDs())
+	}
+	if err := o.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Delete(3); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}
+
+func TestOracleInsertSliceBefore(t *testing.T) {
+	o := NewOracle()
+	o.Load([]LID{1, 2})
+	if err := o.InsertSliceBefore([]LID{10, 11, 12}, 2); err != nil {
+		t.Fatal(err)
+	}
+	want := []LID{1, 10, 11, 12, 2}
+	for i, w := range want {
+		if o.LIDs()[i] != w {
+			t.Fatalf("order = %v, want %v", o.LIDs(), want)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package pager
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MetaRooter is implemented by backends that can remember the block ID of
+// a metadata blob across restarts (FileBackend persists it in its header;
+// MemBackend keeps it in memory for symmetry in tests).
+type MetaRooter interface {
+	SetMetaRoot(id BlockID) error
+	MetaRoot() (BlockID, error)
+}
+
+// blobHeaderSize is the per-block overhead of a chained blob: next block
+// pointer (8) + payload length in this block (4).
+const blobHeaderSize = 12
+
+// WriteBlob stores data as a chain of blocks and returns the head block.
+// Blobs hold structure metadata (roots, counts, the LIDF extent table) so
+// a labeling store can be closed and reopened.
+func (s *Store) WriteBlob(data []byte) (BlockID, error) {
+	payload := s.BlockSize() - blobHeaderSize
+	if payload <= 0 {
+		return NilBlock, errors.New("pager: block too small for blobs")
+	}
+	// Allocate the chain first so each block can point at its successor.
+	nblocks := (len(data) + payload - 1) / payload
+	if nblocks == 0 {
+		nblocks = 1
+	}
+	ids := make([]BlockID, nblocks)
+	for i := range ids {
+		id, err := s.Allocate()
+		if err != nil {
+			return NilBlock, err
+		}
+		ids[i] = id
+	}
+	for i := 0; i < nblocks; i++ {
+		buf := make([]byte, s.BlockSize())
+		next := NilBlock
+		if i+1 < nblocks {
+			next = ids[i+1]
+		}
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(next))
+		chunk := data
+		if len(chunk) > payload {
+			chunk = chunk[:payload]
+		}
+		binary.LittleEndian.PutUint32(buf[8:12], uint32(len(chunk)))
+		copy(buf[blobHeaderSize:], chunk)
+		data = data[len(chunk):]
+		if err := s.Write(ids[i], buf); err != nil {
+			return NilBlock, err
+		}
+	}
+	return ids[0], nil
+}
+
+// ReadBlob reassembles a blob written by WriteBlob.
+func (s *Store) ReadBlob(head BlockID) ([]byte, error) {
+	var out []byte
+	seen := 0
+	for id := head; id != NilBlock; {
+		buf, err := s.Read(id)
+		if err != nil {
+			return nil, err
+		}
+		next := BlockID(binary.LittleEndian.Uint64(buf[0:8]))
+		n := int(binary.LittleEndian.Uint32(buf[8:12]))
+		if n > s.BlockSize()-blobHeaderSize {
+			return nil, fmt.Errorf("pager: blob block %d claims %d payload bytes", id, n)
+		}
+		out = append(out, buf[blobHeaderSize:blobHeaderSize+n]...)
+		id = next
+		seen++
+		if seen > 1<<24 {
+			return nil, errors.New("pager: blob chain too long (cycle?)")
+		}
+	}
+	return out, nil
+}
+
+// FreeBlob releases a blob chain.
+func (s *Store) FreeBlob(head BlockID) error {
+	for id := head; id != NilBlock; {
+		buf, err := s.Read(id)
+		if err != nil {
+			return err
+		}
+		next := BlockID(binary.LittleEndian.Uint64(buf[0:8]))
+		if err := s.Free(id); err != nil {
+			return err
+		}
+		id = next
+	}
+	return nil
+}

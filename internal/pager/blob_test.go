@@ -1,0 +1,112 @@
+package pager
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlobRoundTripSizes(t *testing.T) {
+	s := NewMemStore(128) // payload 116 per block
+	sizes := []int{0, 1, 115, 116, 117, 500, 5000}
+	for _, n := range sizes {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i * 7)
+		}
+		head, err := s.WriteBlob(data)
+		if err != nil {
+			t.Fatalf("size %d: %v", n, err)
+		}
+		got, err := s.ReadBlob(head)
+		if err != nil {
+			t.Fatalf("size %d: %v", n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("size %d: round trip mismatch (got %d bytes)", n, len(got))
+		}
+		if err := s.FreeBlob(head); err != nil {
+			t.Fatalf("size %d: free: %v", n, err)
+		}
+	}
+}
+
+func TestFreeBlobReleasesAllBlocks(t *testing.T) {
+	s := NewMemStore(128)
+	before := s.NumBlocks()
+	head, err := s.WriteBlob(make([]byte, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumBlocks() == before {
+		t.Fatal("blob allocated no blocks")
+	}
+	if err := s.FreeBlob(head); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NumBlocks(); got != before {
+		t.Fatalf("blocks = %d after free, want %d", got, before)
+	}
+}
+
+func TestMemBackendMetaRoot(t *testing.T) {
+	m := NewMemBackend(128)
+	root, err := m.MetaRoot()
+	if err != nil || root != NilBlock {
+		t.Fatalf("fresh meta root = %d, %v", root, err)
+	}
+	if err := m.SetMetaRoot(42); err != nil {
+		t.Fatal(err)
+	}
+	root, err = m.MetaRoot()
+	if err != nil || root != 42 {
+		t.Fatalf("meta root = %d, %v", root, err)
+	}
+}
+
+func TestFileBackendMetaRootPersists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meta.box")
+	fb, err := CreateFile(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := fb.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.SetMetaRoot(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fb2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb2.Close()
+	root, err := fb2.MetaRoot()
+	if err != nil || root != id {
+		t.Fatalf("meta root after reopen = %d, %v (want %d)", root, err, id)
+	}
+}
+
+func TestQuickBlobRoundTrip(t *testing.T) {
+	s := NewMemStore(64)
+	f := func(data []byte) bool {
+		head, err := s.WriteBlob(data)
+		if err != nil {
+			return false
+		}
+		got, err := s.ReadBlob(head)
+		if err != nil {
+			return false
+		}
+		ok := bytes.Equal(got, data) || (len(data) == 0 && len(got) == 0)
+		return s.FreeBlob(head) == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+package pager
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// fileMagic identifies a FileBackend store file.
+var fileMagic = [8]byte{'B', 'O', 'X', 'P', 'A', 'G', 'E', '1'}
+
+const fileHeaderSize = 8 + 4 + 8 + 8 + 8 + 8 // magic, blockSize, next, free head, allocated, meta root
+
+// FileBackend persists blocks in a single file. Block n occupies bytes
+// [n*blockSize, (n+1)*blockSize); block 0 holds the header, so BlockID 0 is
+// naturally unusable, matching NilBlock. Freed blocks are chained into a
+// free list through their first 8 bytes.
+type FileBackend struct {
+	f         *os.File
+	blockSize int
+	next      BlockID // next never-used block
+	freeHead  BlockID // head of the free list, NilBlock if empty
+	allocated uint64
+	metaRoot  BlockID // head of the store's metadata blob, NilBlock if none
+	closed    bool
+}
+
+// CreateFile creates (or truncates) a file-backed store at path with the
+// given block size (DefaultBlockSize if size <= 0).
+func CreateFile(path string, size int) (*FileBackend, error) {
+	if size <= 0 {
+		size = DefaultBlockSize
+	}
+	if size < fileHeaderSize {
+		return nil, fmt.Errorf("pager: block size %d smaller than header", size)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fb := &FileBackend{f: f, blockSize: size, next: 1, freeHead: NilBlock}
+	if err := fb.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return fb, nil
+}
+
+// OpenFile opens an existing file-backed store created by CreateFile.
+func OpenFile(path string) (*FileBackend, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, fileHeaderSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pager: reading header: %w", err)
+	}
+	var magic [8]byte
+	copy(magic[:], hdr[:8])
+	if magic != fileMagic {
+		f.Close()
+		return nil, errors.New("pager: not a box pager file")
+	}
+	fb := &FileBackend{
+		f:         f,
+		blockSize: int(binary.LittleEndian.Uint32(hdr[8:12])),
+		next:      BlockID(binary.LittleEndian.Uint64(hdr[12:20])),
+		freeHead:  BlockID(binary.LittleEndian.Uint64(hdr[20:28])),
+		allocated: binary.LittleEndian.Uint64(hdr[28:36]),
+		metaRoot:  BlockID(binary.LittleEndian.Uint64(hdr[36:44])),
+	}
+	return fb, nil
+}
+
+func (fb *FileBackend) writeHeader() error {
+	hdr := make([]byte, fileHeaderSize)
+	copy(hdr[:8], fileMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(fb.blockSize))
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(fb.next))
+	binary.LittleEndian.PutUint64(hdr[20:28], uint64(fb.freeHead))
+	binary.LittleEndian.PutUint64(hdr[28:36], fb.allocated)
+	binary.LittleEndian.PutUint64(hdr[36:44], uint64(fb.metaRoot))
+	_, err := fb.f.WriteAt(hdr, 0)
+	return err
+}
+
+// SetMetaRoot implements MetaRooter; the root is persisted immediately.
+func (fb *FileBackend) SetMetaRoot(id BlockID) error {
+	if fb.closed {
+		return ErrClosed
+	}
+	fb.metaRoot = id
+	return fb.writeHeader()
+}
+
+// MetaRoot implements MetaRooter.
+func (fb *FileBackend) MetaRoot() (BlockID, error) {
+	if fb.closed {
+		return NilBlock, ErrClosed
+	}
+	return fb.metaRoot, nil
+}
+
+func (fb *FileBackend) offset(id BlockID) int64 {
+	return int64(id) * int64(fb.blockSize)
+}
+
+// BlockSize implements Backend.
+func (fb *FileBackend) BlockSize() int { return fb.blockSize }
+
+// Allocate implements Backend.
+func (fb *FileBackend) Allocate() (BlockID, error) {
+	if fb.closed {
+		return NilBlock, ErrClosed
+	}
+	var id BlockID
+	if fb.freeHead != NilBlock {
+		id = fb.freeHead
+		buf := make([]byte, 8)
+		if _, err := fb.f.ReadAt(buf, fb.offset(id)); err != nil {
+			return NilBlock, err
+		}
+		fb.freeHead = BlockID(binary.LittleEndian.Uint64(buf))
+	} else {
+		id = fb.next
+		fb.next++
+	}
+	// Zero the block so allocation semantics match MemBackend.
+	zero := make([]byte, fb.blockSize)
+	if _, err := fb.f.WriteAt(zero, fb.offset(id)); err != nil {
+		return NilBlock, err
+	}
+	fb.allocated++
+	return id, nil
+}
+
+// Free implements Backend.
+func (fb *FileBackend) Free(id BlockID) error {
+	if fb.closed {
+		return ErrClosed
+	}
+	if id == NilBlock || id >= fb.next {
+		return fmt.Errorf("pager: free of invalid block %d", id)
+	}
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, uint64(fb.freeHead))
+	if _, err := fb.f.WriteAt(buf, fb.offset(id)); err != nil {
+		return err
+	}
+	fb.freeHead = id
+	fb.allocated--
+	return nil
+}
+
+// ReadBlock implements Backend.
+func (fb *FileBackend) ReadBlock(id BlockID, buf []byte) error {
+	if fb.closed {
+		return ErrClosed
+	}
+	if id == NilBlock || id >= fb.next {
+		return fmt.Errorf("pager: read of invalid block %d", id)
+	}
+	if len(buf) != fb.blockSize {
+		return fmt.Errorf("pager: read buffer of %d bytes, want %d", len(buf), fb.blockSize)
+	}
+	_, err := fb.f.ReadAt(buf, fb.offset(id))
+	return err
+}
+
+// WriteBlock implements Backend.
+func (fb *FileBackend) WriteBlock(id BlockID, buf []byte) error {
+	if fb.closed {
+		return ErrClosed
+	}
+	if id == NilBlock || id >= fb.next {
+		return fmt.Errorf("pager: write of invalid block %d", id)
+	}
+	if len(buf) != fb.blockSize {
+		return fmt.Errorf("pager: write buffer of %d bytes, want %d", len(buf), fb.blockSize)
+	}
+	_, err := fb.f.WriteAt(buf, fb.offset(id))
+	return err
+}
+
+// NumBlocks implements Backend.
+func (fb *FileBackend) NumBlocks() uint64 { return fb.allocated }
+
+// Sync flushes the header and file contents to stable storage.
+func (fb *FileBackend) Sync() error {
+	if fb.closed {
+		return ErrClosed
+	}
+	if err := fb.writeHeader(); err != nil {
+		return err
+	}
+	return fb.f.Sync()
+}
+
+// Close implements Backend, persisting the header first.
+func (fb *FileBackend) Close() error {
+	if fb.closed {
+		return nil
+	}
+	fb.closed = true
+	if err := fb.writeHeader(); err != nil {
+		fb.f.Close()
+		return err
+	}
+	return fb.f.Close()
+}

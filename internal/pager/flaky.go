@@ -1,0 +1,81 @@
+package pager
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInjected is the error returned by a FlakyBackend once its budget is
+// exhausted.
+var ErrInjected = errors.New("pager: injected I/O failure")
+
+// FlakyBackend wraps a Backend and starts failing every data operation
+// after a configurable number of successful ones. It exists for failure
+// injection in tests: structures built on the pager must surface the error
+// cleanly instead of panicking or silently corrupting their in-memory
+// bookkeeping.
+type FlakyBackend struct {
+	Inner Backend
+	// Budget is the number of ReadBlock/WriteBlock/Allocate/Free calls
+	// that succeed before every further call fails.
+	Budget int
+
+	ops int
+}
+
+// NewFlakyBackend wraps inner with an operation budget.
+func NewFlakyBackend(inner Backend, budget int) *FlakyBackend {
+	return &FlakyBackend{Inner: inner, Budget: budget}
+}
+
+// Ops reports the number of operations attempted so far.
+func (f *FlakyBackend) Ops() int { return f.ops }
+
+func (f *FlakyBackend) charge(op string) error {
+	f.ops++
+	if f.ops > f.Budget {
+		return fmt.Errorf("%w (%s after %d ops)", ErrInjected, op, f.Budget)
+	}
+	return nil
+}
+
+// BlockSize implements Backend.
+func (f *FlakyBackend) BlockSize() int { return f.Inner.BlockSize() }
+
+// Allocate implements Backend.
+func (f *FlakyBackend) Allocate() (BlockID, error) {
+	if err := f.charge("allocate"); err != nil {
+		return NilBlock, err
+	}
+	return f.Inner.Allocate()
+}
+
+// Free implements Backend.
+func (f *FlakyBackend) Free(id BlockID) error {
+	if err := f.charge("free"); err != nil {
+		return err
+	}
+	return f.Inner.Free(id)
+}
+
+// ReadBlock implements Backend.
+func (f *FlakyBackend) ReadBlock(id BlockID, buf []byte) error {
+	if err := f.charge("read"); err != nil {
+		return err
+	}
+	return f.Inner.ReadBlock(id, buf)
+}
+
+// WriteBlock implements Backend.
+func (f *FlakyBackend) WriteBlock(id BlockID, buf []byte) error {
+	if err := f.charge("write"); err != nil {
+		return err
+	}
+	return f.Inner.WriteBlock(id, buf)
+}
+
+// NumBlocks implements Backend.
+func (f *FlakyBackend) NumBlocks() uint64 { return f.Inner.NumBlocks() }
+
+// Close implements Backend.
+func (f *FlakyBackend) Close() error { return f.Inner.Close() }

@@ -1,0 +1,62 @@
+package pager
+
+import "container/list"
+
+// lruCache is a fixed-capacity least-recently-used block cache. It stores
+// private copies of block contents keyed by BlockID.
+type lruCache struct {
+	capacity int
+	order    *list.List // front = most recently used; values are *lruEntry
+	index    map[BlockID]*list.Element
+}
+
+type lruEntry struct {
+	id   BlockID
+	data []byte
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		order:    list.New(),
+		index:    make(map[BlockID]*list.Element, capacity),
+	}
+}
+
+func (c *lruCache) get(id BlockID) ([]byte, bool) {
+	el, ok := c.index[id]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).data, true
+}
+
+func (c *lruCache) put(id BlockID, data []byte) {
+	if el, ok := c.index[id]; ok {
+		e := el.Value.(*lruEntry)
+		if &e.data[0] != &data[0] {
+			copy(e.data, data)
+		}
+		c.order.MoveToFront(el)
+		return
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	el := c.order.PushFront(&lruEntry{id: id, data: cp})
+	c.index[id] = el
+	for c.order.Len() > c.capacity {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.index, back.Value.(*lruEntry).id)
+	}
+}
+
+func (c *lruCache) drop(id BlockID) {
+	if el, ok := c.index[id]; ok {
+		c.order.Remove(el)
+		delete(c.index, id)
+	}
+}
+
+func (c *lruCache) len() int { return c.order.Len() }

@@ -1,0 +1,363 @@
+// Package pager provides a fixed-size block store with honest I/O
+// accounting, the storage substrate shared by every BOX structure.
+//
+// The paper measures the cost of each operation in block I/Os with
+// main-memory caching turned off, while still allowing "a small number of
+// memory blocks ... for buffering blocks that need to be immediately
+// revisited" within a single operation. Store models exactly that:
+//
+//   - Every block fetched from the backend counts one read; every block
+//     flushed to the backend counts one write.
+//   - Between BeginOp and EndOp, blocks already touched by the current
+//     operation are pinned and re-access is free. Dirty blocks are written
+//     back (and counted) once, when the operation ends.
+//   - An optional global LRU cache can be enabled to model cross-operation
+//     caching; it is off by default, matching the paper's experiments.
+//
+// Two backends are provided: MemBackend (blocks held in memory, used by the
+// benchmarks) and FileBackend (blocks persisted in a single file with a
+// free-list, usable for real storage).
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// BlockID identifies a block within a Store. The zero value is reserved and
+// never names a valid block; it plays the role of a nil pointer on disk.
+type BlockID uint64
+
+// NilBlock is the invalid block ID, used as a nil pointer in on-disk
+// structures.
+const NilBlock BlockID = 0
+
+// DefaultBlockSize is the block size used throughout the paper's
+// experiments (8 KB).
+const DefaultBlockSize = 8192
+
+// ErrClosed is returned by operations on a closed Store or Backend.
+var ErrClosed = errors.New("pager: store is closed")
+
+// IOStats counts block-level I/O performed against the backend.
+type IOStats struct {
+	Reads  uint64 // blocks fetched from the backend
+	Writes uint64 // blocks flushed to the backend
+}
+
+// Total returns reads plus writes.
+func (s IOStats) Total() uint64 { return s.Reads + s.Writes }
+
+// Sub returns the element-wise difference s - t. It is used to charge an
+// interval of work: snapshot before, snapshot after, subtract.
+func (s IOStats) Sub(t IOStats) IOStats {
+	return IOStats{Reads: s.Reads - t.Reads, Writes: s.Writes - t.Writes}
+}
+
+func (s IOStats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d total=%d", s.Reads, s.Writes, s.Total())
+}
+
+// Backend is the raw block device under a Store.
+type Backend interface {
+	// BlockSize reports the fixed size in bytes of every block.
+	BlockSize() int
+	// Allocate reserves a new zeroed block and returns its ID (never 0).
+	Allocate() (BlockID, error)
+	// Free releases a block for reuse by a later Allocate.
+	Free(id BlockID) error
+	// ReadBlock copies the block's contents into buf, which must be
+	// exactly BlockSize bytes long.
+	ReadBlock(id BlockID, buf []byte) error
+	// WriteBlock stores buf, which must be exactly BlockSize bytes long,
+	// as the block's contents.
+	WriteBlock(id BlockID, buf []byte) error
+	// NumBlocks reports how many blocks are currently allocated.
+	NumBlocks() uint64
+	// Close releases any resources held by the backend.
+	Close() error
+}
+
+type opBlock struct {
+	data  []byte
+	dirty bool
+	freed bool
+}
+
+// Store wraps a Backend with I/O accounting, per-operation pinning, and an
+// optional global LRU cache. A Store is safe for use by a single goroutine
+// at a time; the mutex only protects the statistics counters so that
+// concurrent readers of Stats see consistent values.
+type Store struct {
+	mu      sync.Mutex
+	backend Backend
+	stats   IOStats
+	cache   *lruCache
+	op      map[BlockID]*opBlock
+	opDepth int
+	closed  bool
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithCache enables a global LRU cache holding up to capacity blocks.
+// Capacity 0 disables the cache (the default, matching the paper's
+// caching-off experiments).
+func WithCache(capacity int) Option {
+	return func(s *Store) {
+		if capacity > 0 {
+			s.cache = newLRUCache(capacity)
+		} else {
+			s.cache = nil
+		}
+	}
+}
+
+// NewStore creates a Store over backend.
+func NewStore(backend Backend, opts ...Option) *Store {
+	s := &Store{backend: backend}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// NewMemStore is shorthand for a Store over a fresh MemBackend with the
+// given block size (DefaultBlockSize if size <= 0).
+func NewMemStore(size int, opts ...Option) *Store {
+	if size <= 0 {
+		size = DefaultBlockSize
+	}
+	return NewStore(NewMemBackend(size), opts...)
+}
+
+// BlockSize reports the block size in bytes.
+func (s *Store) BlockSize() int { return s.backend.BlockSize() }
+
+// Backend returns the underlying block device (e.g. to reach persistence
+// features like MetaRooter or FileBackend.Sync).
+func (s *Store) Backend() Backend { return s.backend }
+
+// NumBlocks reports how many blocks are currently allocated in the backend.
+func (s *Store) NumBlocks() uint64 { return s.backend.NumBlocks() }
+
+// Stats returns a snapshot of the I/O counters.
+func (s *Store) Stats() IOStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the I/O counters.
+func (s *Store) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = IOStats{}
+}
+
+func (s *Store) countRead() {
+	s.mu.Lock()
+	s.stats.Reads++
+	s.mu.Unlock()
+}
+
+func (s *Store) countWrite() {
+	s.mu.Lock()
+	s.stats.Writes++
+	s.mu.Unlock()
+}
+
+// BeginOp starts a logical operation. Until the matching EndOp, each block
+// is fetched from (and counted against) the backend at most once, and dirty
+// blocks are flushed once at EndOp. Calls nest; only the outermost pair
+// delimits the pinned region.
+func (s *Store) BeginOp() {
+	if s.opDepth == 0 {
+		s.op = make(map[BlockID]*opBlock, 16)
+	}
+	s.opDepth++
+}
+
+// EndOp ends the current logical operation, flushing and counting dirty
+// blocks. It returns the first flush error encountered, if any.
+func (s *Store) EndOp() error {
+	if s.opDepth == 0 {
+		return errors.New("pager: EndOp without BeginOp")
+	}
+	s.opDepth--
+	if s.opDepth > 0 {
+		return nil
+	}
+	var firstErr error
+	for id, ob := range s.op {
+		if ob.freed || !ob.dirty {
+			continue
+		}
+		if err := s.backend.WriteBlock(id, ob.data); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		s.countWrite()
+		if s.cache != nil {
+			s.cache.put(id, ob.data)
+		}
+	}
+	s.op = nil
+	return firstErr
+}
+
+// EndOpInto ends the current logical operation like EndOp, storing any
+// flush error into *err unless *err already holds one. It is meant for
+// deferred use with a named return value, so flush failures are never
+// silently dropped:
+//
+//	func (x *T) Op() (err error) {
+//		s.BeginOp()
+//		defer s.EndOpInto(&err)
+//		...
+//	}
+func (s *Store) EndOpInto(err *error) {
+	if e := s.EndOp(); e != nil && *err == nil {
+		*err = e
+	}
+}
+
+// InOp reports whether a logical operation is currently open.
+func (s *Store) InOp() bool { return s.opDepth > 0 }
+
+// Allocate reserves a new zeroed block. Allocation itself performs no
+// counted I/O; the block is charged when first written.
+func (s *Store) Allocate() (BlockID, error) {
+	if s.closed {
+		return NilBlock, ErrClosed
+	}
+	id, err := s.backend.Allocate()
+	if err != nil {
+		return NilBlock, err
+	}
+	if s.opDepth > 0 {
+		// A freshly allocated block is known-zero; pin it so that the
+		// usual read-modify-write cycle does not charge a read for
+		// contents that never existed.
+		s.op[id] = &opBlock{data: make([]byte, s.backend.BlockSize())}
+	}
+	return id, nil
+}
+
+// Free releases a block. Freeing is a metadata operation and is not counted
+// as an I/O, consistent with the paper's accounting.
+func (s *Store) Free(id BlockID) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if s.opDepth > 0 {
+		if ob, ok := s.op[id]; ok {
+			ob.freed = true
+			ob.dirty = false
+		} else {
+			s.op[id] = &opBlock{freed: true}
+		}
+	}
+	if s.cache != nil {
+		s.cache.drop(id)
+	}
+	return s.backend.Free(id)
+}
+
+// Read returns the contents of a block. Inside an operation the returned
+// slice is the pinned copy: the caller may mutate it and then call Write
+// with the same ID to mark it dirty. Outside an operation a private copy is
+// returned.
+func (s *Store) Read(id BlockID) ([]byte, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if id == NilBlock {
+		return nil, errors.New("pager: read of nil block")
+	}
+	if s.opDepth > 0 {
+		if ob, ok := s.op[id]; ok {
+			if ob.freed {
+				return nil, fmt.Errorf("pager: read of freed block %d", id)
+			}
+			return ob.data, nil
+		}
+	}
+	buf := make([]byte, s.backend.BlockSize())
+	if s.cache != nil {
+		if data, ok := s.cache.get(id); ok {
+			copy(buf, data)
+			if s.opDepth > 0 {
+				ob := &opBlock{data: buf}
+				s.op[id] = ob
+			}
+			return buf, nil
+		}
+	}
+	if err := s.backend.ReadBlock(id, buf); err != nil {
+		return nil, err
+	}
+	s.countRead()
+	if s.opDepth > 0 {
+		s.op[id] = &opBlock{data: buf}
+	} else if s.cache != nil {
+		s.cache.put(id, buf)
+	}
+	return buf, nil
+}
+
+// Write stores buf as the contents of the block. Inside an operation the
+// write is staged and flushed (and counted) once at EndOp; outside it is
+// written through immediately.
+func (s *Store) Write(id BlockID, buf []byte) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if id == NilBlock {
+		return errors.New("pager: write of nil block")
+	}
+	if len(buf) != s.backend.BlockSize() {
+		return fmt.Errorf("pager: write of %d bytes, want %d", len(buf), s.backend.BlockSize())
+	}
+	if s.opDepth > 0 {
+		if ob, ok := s.op[id]; ok {
+			if ob.freed {
+				return fmt.Errorf("pager: write of freed block %d", id)
+			}
+			if &ob.data[0] != &buf[0] {
+				copy(ob.data, buf)
+			}
+			ob.dirty = true
+			return nil
+		}
+		data := make([]byte, len(buf))
+		copy(data, buf)
+		s.op[id] = &opBlock{data: data, dirty: true}
+		return nil
+	}
+	if err := s.backend.WriteBlock(id, buf); err != nil {
+		return err
+	}
+	s.countWrite()
+	if s.cache != nil {
+		s.cache.put(id, buf)
+	}
+	return nil
+}
+
+// Close flushes nothing (operations must be closed first) and releases the
+// backend.
+func (s *Store) Close() error {
+	if s.closed {
+		return nil
+	}
+	if s.opDepth > 0 {
+		return errors.New("pager: close with open operation")
+	}
+	s.closed = true
+	return s.backend.Close()
+}

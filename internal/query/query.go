@@ -1,0 +1,212 @@
+// Package query implements the XML query-processing primitives that
+// order-based labels exist to accelerate (Section 1 of the paper):
+// ancestor/descendant predicates, stack-based containment join, and twig
+// (path pattern) matching. All algorithms work on label pairs only — they
+// never touch the element tree, which is the point of the labeling.
+package query
+
+import (
+	"sort"
+
+	"boxes/internal/order"
+)
+
+// Span is an element's pair of labels.
+type Span struct {
+	Start order.Label
+	End   order.Label
+}
+
+// Contains reports whether s is a proper ancestor of d: the containment
+// test l<(s) < l<(d) && l>(d) < l>(s).
+func (s Span) Contains(d Span) bool {
+	return s.Start < d.Start && d.End < s.End
+}
+
+// Before reports whether s precedes d entirely in document order.
+func (s Span) Before(d Span) bool { return s.End < d.Start }
+
+// IsLastChildOrdinal reports whether child is parent's last child, using
+// the ordinal-labeling shortcut of Section 3: l>(child)+1 == l>(parent).
+// It is only meaningful on ordinal labels.
+func IsLastChildOrdinal(child, parent Span) bool {
+	return child.End+1 == parent.End
+}
+
+// IsFirstChildOrdinal reports whether child is parent's first child under
+// ordinal labeling: l<(parent)+1 == l<(child).
+func IsFirstChildOrdinal(child, parent Span) bool {
+	return parent.Start+1 == child.Start
+}
+
+// Pair is one result of a containment join.
+type Pair struct {
+	Ancestor   int // index into the ancestors input
+	Descendant int // index into the descendants input
+}
+
+// ContainmentJoin returns every (ancestor, descendant) pair with the
+// ancestor span containing the descendant span, using the stack-based
+// merge of Zhang et al. (the paper's reference [20]). Both inputs must be
+// sorted by start label; output pairs are produced in descendant order.
+// Runs in O(|A| + |D| + |output|).
+func ContainmentJoin(ancestors, descendants []Span) []Pair {
+	var out []Pair
+	var stack []int // indices into ancestors, nested spans
+	ai := 0
+	for di := 0; di < len(descendants); di++ {
+		d := descendants[di]
+		// Push ancestors that start before d.
+		for ai < len(ancestors) && ancestors[ai].Start < d.Start {
+			// Pop ancestors that end before this one starts: they can
+			// contain no further descendants.
+			for len(stack) > 0 && ancestors[stack[len(stack)-1]].End < ancestors[ai].Start {
+				stack = stack[:len(stack)-1]
+			}
+			stack = append(stack, ai)
+			ai++
+		}
+		// Pop ancestors that ended before d.
+		for len(stack) > 0 && ancestors[stack[len(stack)-1]].End < d.Start {
+			stack = stack[:len(stack)-1]
+		}
+		// Everything remaining on the stack contains d.
+		for _, a := range stack {
+			if ancestors[a].Contains(d) {
+				out = append(out, Pair{Ancestor: a, Descendant: di})
+			}
+		}
+	}
+	return out
+}
+
+// Elem is a named, labeled element of a document, the input to twig
+// matching.
+type Elem struct {
+	Name string
+	Span Span
+}
+
+// Step is one location step of a path pattern.
+type Step struct {
+	Name string
+	// Descendant selects the // axis (any depth); otherwise the step is
+	// a / child step, which requires level information and is therefore
+	// approximated by "nearest enclosing match" below — exact for
+	// patterns whose consecutive names cannot nest within themselves.
+	Descendant bool
+}
+
+// Twig is a linear path pattern, e.g. //open_auction//bidder/increase.
+type Twig []Step
+
+// ParseTwig parses a pattern of the form "//a/b//c".
+func ParseTwig(s string) Twig {
+	var twig Twig
+	i := 0
+	for i < len(s) {
+		desc := false
+		if s[i] == '/' {
+			i++
+			if i < len(s) && s[i] == '/' {
+				desc = true
+				i++
+			}
+		}
+		j := i
+		for j < len(s) && s[j] != '/' {
+			j++
+		}
+		if j > i {
+			twig = append(twig, Step{Name: s[i:j], Descendant: desc})
+		}
+		i = j
+	}
+	return twig
+}
+
+// Match returns the indices of elements matching the final step of the
+// twig, with every step's containment verified through label spans only.
+// elems must be sorted by start label (document order of start tags).
+func Match(elems []Elem, twig Twig) []int {
+	if len(twig) == 0 {
+		return nil
+	}
+	// Candidate lists per step, in document order.
+	cand := make([][]int, len(twig))
+	for i, e := range elems {
+		for s, step := range twig {
+			if e.Name == step.Name {
+				cand[s] = append(cand[s], i)
+			}
+		}
+	}
+	// Verify chains step by step: keep a candidate at step s only if some
+	// candidate at step s-1 contains it (and, for a child step, no other
+	// candidate of the same step s-1 name nests strictly between).
+	cur := cand[0]
+	for s := 1; s < len(twig); s++ {
+		var next []int
+		for _, di := range cand[s] {
+			d := elems[di].Span
+			ok := false
+			for _, aiIdx := range cur {
+				a := elems[aiIdx].Span
+				if a.Start > d.Start {
+					break // sorted: no later candidate can contain d
+				}
+				if !a.Contains(d) {
+					continue
+				}
+				if twig[s].Descendant {
+					ok = true
+					break
+				}
+				// Child step: a must be the nearest containing element
+				// of any name. Without levels we approximate: no other
+				// candidate of step s-1 lies strictly between a and d.
+				nested := false
+				for _, bi := range cur {
+					b := elems[bi].Span
+					if b != a && a.Contains(b) && b.Contains(d) {
+						nested = true
+						break
+					}
+				}
+				if !nested && isParent(elems, a, d) {
+					ok = true
+					break
+				}
+			}
+			if ok {
+				next = append(next, di)
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// isParent reports whether a is d's immediate parent: no element nests
+// strictly between them.
+func isParent(elems []Elem, a, d Span) bool {
+	// Binary search for elements starting in (a.Start, d.Start] that
+	// contain d; if any differs from d itself, a is not the parent.
+	i := sort.Search(len(elems), func(i int) bool { return elems[i].Span.Start > a.Start })
+	for ; i < len(elems) && elems[i].Span.Start < d.Start; i++ {
+		if elems[i].Span.Contains(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// SortByStart orders elems by start label (document order).
+func SortByStart(elems []Elem) {
+	sort.Slice(elems, func(i, j int) bool { return elems[i].Span.Start < elems[j].Span.Start })
+}
+
+// SortSpansByStart orders spans by start label.
+func SortSpansByStart(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+}

@@ -1,0 +1,224 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+
+	"boxes/internal/xmlgen"
+)
+
+// labelTree assigns ordinal labels to a tree and returns the elements in
+// document order of start tags.
+func labelTree(tr *xmlgen.Tree) []Elem {
+	var elems []Elem
+	var counter uint64
+	var walk func(n *xmlgen.Node) Span
+	walk = func(n *xmlgen.Node) Span {
+		s := Span{Start: counter}
+		counter++
+		idx := len(elems)
+		elems = append(elems, Elem{Name: n.Name})
+		for _, c := range n.Children {
+			walk(c)
+		}
+		s.End = counter
+		counter++
+		elems[idx].Span = s
+		return s
+	}
+	walk(tr.Root)
+	return elems
+}
+
+func TestSpanContains(t *testing.T) {
+	a := Span{0, 9}
+	b := Span{1, 4}
+	c := Span{5, 8}
+	if !a.Contains(b) || !a.Contains(c) {
+		t.Fatal("outer should contain inner")
+	}
+	if b.Contains(c) || c.Contains(b) {
+		t.Fatal("siblings must not contain each other")
+	}
+	if a.Contains(a) {
+		t.Fatal("containment must be strict")
+	}
+	if !b.Before(c) {
+		t.Fatal("b precedes c")
+	}
+}
+
+func TestOrdinalChildPredicates(t *testing.T) {
+	// <p> <a/> <b/> </p> with ordinal labels p=(0,5) a=(1,2) b=(3,4)
+	p := Span{0, 5}
+	a := Span{1, 2}
+	b := Span{3, 4}
+	if !IsFirstChildOrdinal(a, p) || IsFirstChildOrdinal(b, p) {
+		t.Fatal("first-child check wrong")
+	}
+	if !IsLastChildOrdinal(b, p) || IsLastChildOrdinal(a, p) {
+		t.Fatal("last-child check wrong")
+	}
+}
+
+func naiveJoin(anc, desc []Span) map[[2]int]bool {
+	out := map[[2]int]bool{}
+	for i, a := range anc {
+		for j, d := range desc {
+			if a.Contains(d) {
+				out[[2]int{i, j}] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestContainmentJoinAgainstNaive(t *testing.T) {
+	tr := xmlgen.XMark(400, 11)
+	elems := labelTree(tr)
+	var anc, desc []Span
+	for _, e := range elems {
+		if e.Name == "open_auction" {
+			anc = append(anc, e.Span)
+		}
+		if e.Name == "increase" {
+			desc = append(desc, e.Span)
+		}
+	}
+	if len(anc) == 0 || len(desc) == 0 {
+		t.Fatal("workload has no auctions/increases")
+	}
+	got := ContainmentJoin(anc, desc)
+	want := naiveJoin(anc, desc)
+	if len(got) != len(want) {
+		t.Fatalf("join produced %d pairs, want %d", len(got), len(want))
+	}
+	for _, p := range got {
+		if !want[[2]int{p.Ancestor, p.Descendant}] {
+			t.Fatalf("spurious pair %v", p)
+		}
+	}
+}
+
+func TestContainmentJoinEmptyInputs(t *testing.T) {
+	if out := ContainmentJoin(nil, []Span{{1, 2}}); out != nil {
+		t.Fatal("join with no ancestors must be empty")
+	}
+	if out := ContainmentJoin([]Span{{1, 2}}, nil); out != nil {
+		t.Fatal("join with no descendants must be empty")
+	}
+}
+
+func TestParseTwig(t *testing.T) {
+	tw := ParseTwig("//open_auction//bidder/increase")
+	if len(tw) != 3 {
+		t.Fatalf("steps = %d", len(tw))
+	}
+	if !tw[0].Descendant || !tw[1].Descendant || tw[2].Descendant {
+		t.Fatalf("axes wrong: %+v", tw)
+	}
+	if tw[2].Name != "increase" {
+		t.Fatalf("names wrong: %+v", tw)
+	}
+}
+
+func TestTwigMatchDescendantAxis(t *testing.T) {
+	tr := xmlgen.XMark(600, 5)
+	elems := labelTree(tr)
+	got := Match(elems, ParseTwig("//open_auction//increase"))
+	// Reference: increases inside open_auctions.
+	want := 0
+	for i, e := range elems {
+		if e.Name != "increase" {
+			continue
+		}
+		for _, a := range elems {
+			if a.Name == "open_auction" && a.Span.Contains(e.Span) {
+				want++
+				break
+			}
+		}
+		_ = i
+	}
+	if len(got) != want {
+		t.Fatalf("matched %d, want %d", len(got), want)
+	}
+	for _, i := range got {
+		if elems[i].Name != "increase" {
+			t.Fatalf("matched element %q", elems[i].Name)
+		}
+	}
+}
+
+func TestTwigMatchChildAxis(t *testing.T) {
+	tr := xmlgen.XMark(600, 6)
+	elems := labelTree(tr)
+	// bidder/increase: increase must be a direct child of bidder.
+	got := Match(elems, ParseTwig("//bidder/increase"))
+	want := 0
+	for _, e := range elems {
+		if e.Name != "increase" {
+			continue
+		}
+		// Find immediate parent: tightest containing span.
+		var parent *Elem
+		for j := range elems {
+			a := &elems[j]
+			if a.Span.Contains(e.Span) && (parent == nil || parent.Span.Contains(a.Span)) {
+				parent = a
+			}
+		}
+		if parent != nil && parent.Name == "bidder" {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("matched %d, want %d", len(got), want)
+	}
+}
+
+func TestTwigNoMatches(t *testing.T) {
+	tr := xmlgen.XMark(200, 7)
+	elems := labelTree(tr)
+	if got := Match(elems, ParseTwig("//nonexistent/also_missing")); len(got) != 0 {
+		t.Fatalf("matched %d elements of a nonexistent pattern", len(got))
+	}
+	if got := Match(elems, nil); got != nil {
+		t.Fatal("empty twig must match nothing")
+	}
+}
+
+// Property: the stack-based join equals the nested-loop join on random
+// XMark-shaped documents and random name pairs.
+func TestQuickJoinEquivalence(t *testing.T) {
+	names := []string{"item", "person", "open_auction", "bidder", "description", "text"}
+	f := func(seed int64, aSel, dSel uint8) bool {
+		tr := xmlgen.XMark(300, seed)
+		elems := labelTree(tr)
+		aName := names[int(aSel)%len(names)]
+		dName := names[int(dSel)%len(names)]
+		var anc, desc []Span
+		for _, e := range elems {
+			if e.Name == aName {
+				anc = append(anc, e.Span)
+			}
+			if e.Name == dName {
+				desc = append(desc, e.Span)
+			}
+		}
+		got := ContainmentJoin(anc, desc)
+		want := naiveJoin(anc, desc)
+		if len(got) != len(want) {
+			return false
+		}
+		for _, p := range got {
+			if !want[[2]int{p.Ancestor, p.Descendant}] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pattern is a branching twig (tree pattern): a named node, the axis
+// connecting it to its parent pattern node, and any number of child
+// pattern nodes that must all be satisfied. Linear Twig patterns are the
+// special case with at most one child per node.
+type Pattern struct {
+	Name       string
+	Descendant bool // // axis from the parent (any depth); otherwise / (child)
+	Children   []*Pattern
+}
+
+// ParsePattern parses a branching path pattern with XPath-style predicate
+// brackets, e.g.
+//
+//	//open_auction[//bidder/increase][/seller]//annotation
+//
+// Each bracket opens a branch rooted at the preceding step; the remaining
+// path continues from it as the last branch. Only element-name tests and
+// the / and // axes are supported.
+func ParsePattern(s string) (*Pattern, error) {
+	p := &patternParser{in: s}
+	root, err := p.parsePath(true)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("query: trailing input %q at %d", p.in[p.pos:], p.pos)
+	}
+	if root == nil {
+		return nil, fmt.Errorf("query: empty pattern")
+	}
+	return root, nil
+}
+
+type patternParser struct {
+	in  string
+	pos int
+}
+
+// parsePath parses steps until the end of input or an unmatched ']',
+// returning the first pattern node of the chain.
+func (p *patternParser) parsePath(top bool) (*Pattern, error) {
+	var first, cur *Pattern
+	for p.pos < len(p.in) {
+		if p.in[p.pos] == ']' {
+			if top {
+				return nil, fmt.Errorf("query: unexpected ']' at %d", p.pos)
+			}
+			break
+		}
+		desc := false
+		if p.in[p.pos] != '/' {
+			return nil, fmt.Errorf("query: expected '/' at %d", p.pos)
+		}
+		p.pos++
+		if p.pos < len(p.in) && p.in[p.pos] == '/' {
+			desc = true
+			p.pos++
+		}
+		start := p.pos
+		for p.pos < len(p.in) && p.in[p.pos] != '/' && p.in[p.pos] != '[' && p.in[p.pos] != ']' {
+			p.pos++
+		}
+		name := strings.TrimSpace(p.in[start:p.pos])
+		if name == "" {
+			return nil, fmt.Errorf("query: empty step name at %d", start)
+		}
+		node := &Pattern{Name: name, Descendant: desc}
+		if cur == nil {
+			first = node
+		} else {
+			cur.Children = append(cur.Children, node)
+		}
+		cur = node
+		// Predicates.
+		for p.pos < len(p.in) && p.in[p.pos] == '[' {
+			p.pos++
+			branch, err := p.parsePath(false)
+			if err != nil {
+				return nil, err
+			}
+			if p.pos >= len(p.in) || p.in[p.pos] != ']' {
+				return nil, fmt.Errorf("query: missing ']' at %d", p.pos)
+			}
+			p.pos++
+			if branch != nil {
+				cur.Children = append(cur.Children, branch)
+			}
+		}
+	}
+	return first, nil
+}
+
+// String renders the pattern back in parse syntax.
+func (pt *Pattern) String() string {
+	var b strings.Builder
+	pt.render(&b)
+	return b.String()
+}
+
+func (pt *Pattern) render(b *strings.Builder) {
+	if pt.Descendant {
+		b.WriteString("//")
+	} else {
+		b.WriteString("/")
+	}
+	b.WriteString(pt.Name)
+	for i, c := range pt.Children {
+		if i == len(pt.Children)-1 {
+			c.render(b)
+			return
+		}
+		b.WriteString("[")
+		c.render(b)
+		b.WriteString("]")
+	}
+}
+
+// MatchPattern returns the indices of elements matching the pattern's root
+// node with every branch satisfied, using only label-span containment.
+// elems must be sorted by start label.
+func MatchPattern(elems []Elem, pt *Pattern) []int {
+	if pt == nil {
+		return nil
+	}
+	memo := map[*Pattern][]int{}
+	return matchNode(elems, pt, memo)
+}
+
+// matchNode computes, bottom-up with memoization, the elements satisfying
+// the pattern node pt (name + all branch constraints).
+func matchNode(elems []Elem, pt *Pattern, memo map[*Pattern][]int) []int {
+	if got, ok := memo[pt]; ok {
+		return got
+	}
+	var cands []int
+	for i, e := range elems {
+		if e.Name == pt.Name {
+			cands = append(cands, i)
+		}
+	}
+	for _, child := range pt.Children {
+		sub := matchNode(elems, child, memo)
+		var kept []int
+		for _, ci := range cands {
+			if hasWitness(elems, elems[ci].Span, child, sub) {
+				kept = append(kept, ci)
+			}
+		}
+		cands = kept
+		if len(cands) == 0 {
+			break
+		}
+	}
+	memo[pt] = cands
+	return cands
+}
+
+// hasWitness reports whether some element of sub (already satisfying the
+// child pattern) is a descendant (or, for a / axis, an immediate child) of
+// the element with span a.
+func hasWitness(elems []Elem, a Span, child *Pattern, sub []int) bool {
+	for _, di := range sub {
+		d := elems[di].Span
+		if !a.Contains(d) {
+			continue
+		}
+		if child.Descendant {
+			return true
+		}
+		if isParent(elems, a, d) {
+			return true
+		}
+	}
+	return false
+}

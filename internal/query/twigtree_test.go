@@ -1,0 +1,169 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+
+	"boxes/internal/xmlgen"
+)
+
+func TestParsePattern(t *testing.T) {
+	pt, err := ParsePattern("//open_auction[//bidder/increase][/seller]//annotation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Name != "open_auction" || !pt.Descendant {
+		t.Fatalf("root = %+v", pt)
+	}
+	if len(pt.Children) != 3 {
+		t.Fatalf("children = %d (bidder-branch, seller-branch, annotation)", len(pt.Children))
+	}
+	if pt.Children[0].Name != "bidder" || !pt.Children[0].Descendant {
+		t.Fatalf("branch 0 = %+v", pt.Children[0])
+	}
+	if len(pt.Children[0].Children) != 1 || pt.Children[0].Children[0].Name != "increase" || pt.Children[0].Children[0].Descendant {
+		t.Fatalf("branch 0 child = %+v", pt.Children[0].Children)
+	}
+	if pt.Children[1].Name != "seller" || pt.Children[1].Descendant {
+		t.Fatalf("branch 1 = %+v", pt.Children[1])
+	}
+	if pt.Children[2].Name != "annotation" || !pt.Children[2].Descendant {
+		t.Fatalf("tail = %+v", pt.Children[2])
+	}
+	// Round trip.
+	back, err := ParsePattern(pt.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", pt.String(), err)
+	}
+	if back.String() != pt.String() {
+		t.Fatalf("round trip %q != %q", back.String(), pt.String())
+	}
+}
+
+func TestParsePatternErrors(t *testing.T) {
+	for _, bad := range []string{"", "open_auction", "//a[", "//a]", "//a[]extra", "//a[//b", "///", "//a//"} {
+		if _, err := ParsePattern(bad); err == nil {
+			t.Errorf("ParsePattern(%q) accepted", bad)
+		}
+	}
+}
+
+// refMatch is a trivially correct matcher over the actual tree structure.
+func refMatch(tr *xmlgen.Tree, pt *Pattern) int {
+	type frame struct {
+		n *xmlgen.Node
+	}
+	var matches func(n *xmlgen.Node, p *Pattern) bool
+	var anyDescendant func(n *xmlgen.Node, p *Pattern) bool
+	anyChild := func(n *xmlgen.Node, p *Pattern) bool {
+		for _, c := range n.Children {
+			if matches(c, p) {
+				return true
+			}
+		}
+		return false
+	}
+	anyDescendant = func(n *xmlgen.Node, p *Pattern) bool {
+		for _, c := range n.Children {
+			if matches(c, p) || anyDescendant(c, p) {
+				return true
+			}
+		}
+		return false
+	}
+	matches = func(n *xmlgen.Node, p *Pattern) bool {
+		if n.Name != p.Name {
+			return false
+		}
+		for _, c := range p.Children {
+			if c.Descendant {
+				if !anyDescendant(n, c) {
+					return false
+				}
+			} else if !anyChild(n, c) {
+				return false
+			}
+		}
+		return true
+	}
+	count := 0
+	var walk func(n *xmlgen.Node)
+	walk = func(n *xmlgen.Node) {
+		if matches(n, pt) {
+			count++
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tr.Root)
+	_ = frame{}
+	return count
+}
+
+func TestMatchPatternAgainstTreeReference(t *testing.T) {
+	tr := xmlgen.XMark(1200, 8)
+	elems := labelTree(tr)
+	patterns := []string{
+		"//open_auction[//bidder/increase][/seller]",
+		"//person[/address/city]",
+		"//item[//mailbox]//incategory",
+		"//open_auction[/interval/start][/interval/end]",
+		"//bidder[/date][/time][/increase]",
+	}
+	for _, ps := range patterns {
+		pt, err := ParsePattern(ps)
+		if err != nil {
+			t.Fatalf("%s: %v", ps, err)
+		}
+		got := MatchPattern(elems, pt)
+		want := refMatch(tr, pt)
+		if len(got) != want {
+			t.Errorf("%s: labels matched %d, tree matched %d", ps, len(got), want)
+		}
+		for _, i := range got {
+			if elems[i].Name != pt.Name {
+				t.Errorf("%s: matched a %q element", ps, elems[i].Name)
+			}
+		}
+	}
+}
+
+func TestMatchPatternNoMatch(t *testing.T) {
+	tr := xmlgen.XMark(300, 9)
+	elems := labelTree(tr)
+	pt, err := ParsePattern("//open_auction[/nonexistent]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MatchPattern(elems, pt); len(got) != 0 {
+		t.Fatalf("matched %d", len(got))
+	}
+	if got := MatchPattern(elems, nil); got != nil {
+		t.Fatal("nil pattern matched")
+	}
+}
+
+// Property: label-based branching match equals tree-walking match on random
+// documents and a pool of patterns.
+func TestQuickPatternEquivalence(t *testing.T) {
+	pool := []string{
+		"//open_auction[//increase]",
+		"//person[/profile/business]",
+		"//item[/incategory][//keyword]",
+		"//annotation[/author][//keyword]",
+		"//closed_auction[/price]",
+	}
+	f := func(seed int64, sel uint8) bool {
+		tr := xmlgen.XMark(400, seed)
+		elems := labelTree(tr)
+		pt, err := ParsePattern(pool[int(sel)%len(pool)])
+		if err != nil {
+			return false
+		}
+		return len(MatchPattern(elems, pt)) == refMatch(tr, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,275 @@
+package reflog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"boxes/internal/bbox"
+	"boxes/internal/order"
+	"boxes/internal/pager"
+	"boxes/internal/wbox"
+	"boxes/internal/xmlgen"
+)
+
+func newOrdinalWBox(t *testing.T) (order.Labeler, *pager.Store) {
+	t.Helper()
+	store := pager.NewMemStore(512)
+	p, err := wbox.NewParams(512, wbox.Basic, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := wbox.New(store, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, store
+}
+
+func newOrdinalBBox(t *testing.T) (order.Labeler, *pager.Store) {
+	t.Helper()
+	store := pager.NewMemStore(512)
+	p, err := bbox.NewParams(512, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := bbox.New(store, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, store
+}
+
+func ordinalMakers() map[string]func(*testing.T) (order.Labeler, *pager.Store) {
+	return map[string]func(*testing.T) (order.Labeler, *pager.Store){
+		"wbox-ordinal": newOrdinalWBox,
+		"bbox-ordinal": newOrdinalBBox,
+	}
+}
+
+func TestOrdinalCacheReplaysInserts(t *testing.T) {
+	for name, mk := range ordinalMakers() {
+		t.Run(name, func(t *testing.T) {
+			l, store := mk(t)
+			cache := NewOrdinalCache(l, NewLog(64))
+			elems, err := l.BulkLoad(order.TagStreamFromPairs(100))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm a ref to a label late in the document.
+			ref, err := cache.NewRef(elems[0].End)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Insert a handful of elements before it (each adds 2 tags).
+			for i := 0; i < 5; i++ {
+				if _, err := l.InsertElementBefore(elems[50].Start); err != nil {
+					t.Fatal(err)
+				}
+			}
+			before := store.Stats()
+			got, out, err := cache.Lookup(&ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out != HitReplayed {
+				t.Fatalf("outcome = %v, want HitReplayed", out)
+			}
+			if d := store.Stats().Sub(before); d.Total() != 0 {
+				t.Fatalf("replayed ordinal lookup cost %v I/Os", d)
+			}
+			want, err := l.OrdinalLookup(ref.LID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("replayed ordinal %d, direct %d", got, want)
+			}
+		})
+	}
+}
+
+func TestOrdinalCacheSurvivesStructuralReorganization(t *testing.T) {
+	// Splits and relabels change regular labels but never ordinals: the
+	// ordinal cache should keep replaying right through a storm of
+	// concentrated insertions that reorganizes the tree.
+	for name, mk := range ordinalMakers() {
+		t.Run(name, func(t *testing.T) {
+			l, _ := mk(t)
+			cache := NewOrdinalCache(l, NewLog(4096))
+			elems, err := l.BulkLoad(order.TagStreamFromPairs(60))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := cache.NewRef(elems[0].End)
+			if err != nil {
+				t.Fatal(err)
+			}
+			right := elems[30].Start
+			for i := 0; i < 300; i++ {
+				r, err := l.InsertElementBefore(right)
+				if err != nil {
+					t.Fatal(err)
+				}
+				right = r.Start
+			}
+			got, out, err := cache.Lookup(&ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out != HitReplayed {
+				t.Fatalf("outcome = %v, want HitReplayed despite splits", out)
+			}
+			want, err := l.OrdinalLookup(ref.LID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("replayed ordinal %d, direct %d", got, want)
+			}
+		})
+	}
+}
+
+func TestOrdinalCacheSubtreeOps(t *testing.T) {
+	for name, mk := range ordinalMakers() {
+		t.Run(name, func(t *testing.T) {
+			l, _ := mk(t)
+			cache := NewOrdinalCache(l, NewLog(64))
+			tags := order.TagStreamFromPairs(2000)
+			elems, err := l.BulkLoad(tags)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lateRef, err := cache.NewRef(elems[0].End)
+			if err != nil {
+				t.Fatal(err)
+			}
+			earlyRef, err := cache.NewRef(elems[10].Start)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Bulk-insert a subtree in the middle.
+			sub := xmlgen.TwoLevel(40).TagStream()
+			subElems, err := l.InsertSubtreeBefore(elems[1000].Start, sub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ref := range []*Ref{&lateRef, &earlyRef} {
+				got, _, err := cache.Lookup(ref)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := l.OrdinalLookup(ref.LID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("after subtree insert: cached %d, direct %d", got, want)
+				}
+			}
+			// And delete it again.
+			if err := l.DeleteSubtree(subElems[0].Start, subElems[0].End); err != nil {
+				t.Fatal(err)
+			}
+			for _, ref := range []*Ref{&lateRef, &earlyRef} {
+				got, _, err := cache.Lookup(ref)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := l.OrdinalLookup(ref.LID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("after subtree delete: cached %d, direct %d", got, want)
+				}
+			}
+		})
+	}
+}
+
+// Property: ordinal cache answers always equal direct ordinal lookups
+// through random mixed workloads.
+func TestQuickOrdinalCacheCoherence(t *testing.T) {
+	f := func(seed int64, sel uint8) bool {
+		store := pager.NewMemStore(512)
+		var l order.Labeler
+		if sel%2 == 0 {
+			p, err := wbox.NewParams(512, wbox.Basic, true)
+			if err != nil {
+				return false
+			}
+			l, err = wbox.New(store, p)
+			if err != nil {
+				return false
+			}
+		} else {
+			p, err := bbox.NewParams(512, true, false)
+			if err != nil {
+				return false
+			}
+			l, err = bbox.New(store, p)
+			if err != nil {
+				return false
+			}
+		}
+		k := []int{1, 16, 256}[(sel/2)%3]
+		cache := NewOrdinalCache(l, NewLog(k))
+		elems, err := l.BulkLoad(order.TagStreamFromPairs(50))
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		refs := make([]Ref, len(elems))
+		for i, e := range elems {
+			r, err := cache.NewRef(e.End)
+			if err != nil {
+				return false
+			}
+			refs[i] = r
+		}
+		live := append([]order.ElemLIDs(nil), elems...)
+		for i := 0; i < 100; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				target := live[rng.Intn(len(live))]
+				ne, err := l.InsertElementBefore(target.Start)
+				if err != nil {
+					return false
+				}
+				live = append(live, ne)
+			case 1:
+				if len(live) > len(elems) {
+					idx := len(elems) + rng.Intn(len(live)-len(elems))
+					v := live[idx]
+					if err := l.Delete(v.Start); err != nil {
+						return false
+					}
+					if err := l.Delete(v.End); err != nil {
+						return false
+					}
+					live = append(live[:idx], live[idx+1:]...)
+				}
+			default:
+				ref := &refs[rng.Intn(len(refs))]
+				got, _, err := cache.Lookup(ref)
+				if err != nil {
+					return false
+				}
+				want, err := l.OrdinalLookup(ref.LID)
+				if err != nil {
+					return false
+				}
+				if got != want {
+					t.Logf("ordinal cache %d != direct %d (k=%d sel=%d)", got, want, k, sel)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,609 @@
+package wbox
+
+import (
+	"fmt"
+
+	"boxes/internal/order"
+	"boxes/internal/pager"
+)
+
+// BulkLoad implements order.Labeler. A single pass over the document tag
+// stream produces all leaves in order; internal levels are packed greedily
+// by weight, so no relabeling is ever needed during loading: O(N/B) I/Os.
+func (l *Labeler) BulkLoad(tags []order.Tag) (_ []order.ElemLIDs, err error) {
+	if l.root != pager.NilBlock {
+		return nil, order.ErrNotEmpty
+	}
+	if err := order.ValidateTagStream(tags); err != nil {
+		return nil, err
+	}
+	l.store.BeginOp()
+	defer l.store.EndOpInto(&err)
+
+	elems := make([]order.ElemLIDs, len(tags)/2)
+	recs := make([]record, len(tags))
+	for i, t := range tags {
+		if t.Start {
+			s, e, err := l.file.AllocPair()
+			if err != nil {
+				return nil, err
+			}
+			elems[t.Elem] = order.ElemLIDs{Start: s, End: e}
+			recs[i] = record{lid: s, isStart: true, partnerLID: e}
+		} else {
+			recs[i] = record{lid: elems[t.Elem].End, partnerLID: elems[t.Elem].Start}
+		}
+	}
+	if err := l.buildFromRecords(recs); err != nil {
+		return nil, err
+	}
+	return elems, nil
+}
+
+// buildFromRecords replaces the entire structure with a fresh tree holding
+// recs in order. LIDF pointers (and, in the PairOptimized variant, partner
+// blocks and end-label copies) are rewritten for every record.
+func (l *Labeler) buildFromRecords(recs []record) error {
+	if len(recs) == 0 {
+		l.root = pager.NilBlock
+		l.height = 0
+		l.live = 0
+		l.dead = 0
+		return nil
+	}
+	leaves, err := l.packLeaves(recs)
+	if err != nil {
+		return err
+	}
+	top, height, err := l.buildInternal(leaves)
+	if err != nil {
+		return err
+	}
+	l.root = top.blk
+	l.height = height
+	l.live = uint64(len(recs))
+	l.dead = 0
+	var fixes []endFix
+	if err := l.relabelSubtree(top, 0, &fixes); err != nil {
+		return err
+	}
+	return l.applyEndFixes(fixes, nil)
+}
+
+// packLeaves distributes recs into full leaves (the last two are
+// rebalanced so no leaf underflows), allocates their blocks, points the
+// LIDF at them, and resolves partner block pointers.
+func (l *Labeler) packLeaves(recs []record) ([]*node, error) {
+	n := len(recs)
+	fill := l.p.LeafCap
+	numLeaves := (n + fill - 1) / fill
+	leaves := make([]*node, 0, numLeaves)
+	for off := 0; off < n; off += fill {
+		end := off + fill
+		if end > n {
+			end = n
+		}
+		leaf, err := l.allocNode(0, 0)
+		if err != nil {
+			return nil, err
+		}
+		leaf.recs = append(leaf.recs, recs[off:end]...)
+		leaves = append(leaves, leaf)
+	}
+	l.rebalanceTail(leaves)
+	// Resolve partner blocks now that every record has a home, then point
+	// the LIDF at the leaves and write them (relabelSubtree re-writes
+	// them with final ranges; inside one operation that costs nothing
+	// extra).
+	if l.p.Variant == PairOptimized {
+		home := make(map[order.LID]pager.BlockID, n)
+		for _, leaf := range leaves {
+			for i := range leaf.recs {
+				if !leaf.recs[i].deleted {
+					home[leaf.recs[i].lid] = leaf.blk
+				}
+			}
+		}
+		for _, leaf := range leaves {
+			for i := range leaf.recs {
+				r := &leaf.recs[i]
+				if r.deleted || r.partnerLID == 0 {
+					continue
+				}
+				if pb, ok := home[r.partnerLID]; ok {
+					r.partnerBlk = pb
+					continue
+				}
+				// The partner lives outside the packed region; its own
+				// block is unchanged, but its pointer back at this record
+				// must follow the record to its new leaf.
+				if r.partnerBlk == pager.NilBlock {
+					continue
+				}
+				ext, err := l.readNode(r.partnerBlk)
+				if err != nil {
+					return nil, err
+				}
+				if pi := ext.findRec(r.partnerLID); pi >= 0 {
+					ext.recs[pi].partnerBlk = leaf.blk
+					if err := l.writeNode(ext); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	for _, leaf := range leaves {
+		for i := range leaf.recs {
+			if leaf.recs[i].deleted {
+				continue
+			}
+			if err := l.file.SetU64(leaf.recs[i].lid, uint64(leaf.blk)); err != nil {
+				return nil, err
+			}
+		}
+		if err := l.writeNode(leaf); err != nil {
+			return nil, err
+		}
+	}
+	return leaves, nil
+}
+
+// rebalanceTail evens out the last two leaves so the final one cannot
+// underflow (each ends with at least half a full leaf).
+func (l *Labeler) rebalanceTail(leaves []*node) {
+	if len(leaves) < 2 {
+		return
+	}
+	last := leaves[len(leaves)-1]
+	prev := leaves[len(leaves)-2]
+	if len(last.recs) >= l.p.K {
+		return
+	}
+	combined := append(append([]record(nil), prev.recs...), last.recs...)
+	half := (len(combined) + 1) / 2
+	prev.recs = append(prev.recs[:0:0], combined[:half]...)
+	last.recs = append(last.recs[:0:0], combined[half:]...)
+}
+
+// planLevel groups the ordered child weights of one level into parent
+// nodes: children are packed greedily while the parent's weight stays below
+// the level's limit (and fan-out below b), and the trailing group is
+// rebalanced with its left neighbour so it cannot underflow. It returns the
+// group sizes, in order. It is a pure function of the weights, so callers
+// can predict the exact shape a build will produce.
+func (p Params) planLevel(weights []uint64, level int) ([]int, error) {
+	limit, ok := p.weightLimit(level)
+	if !ok {
+		return nil, order.ErrLabelOverflow
+	}
+	var groups []int
+	cnt := 0
+	var cw uint64
+	for _, w := range weights {
+		if cnt > 0 && (cw+w >= limit || cnt >= p.B) {
+			groups = append(groups, cnt)
+			cnt, cw = 0, 0
+		}
+		cnt++
+		cw += w
+	}
+	groups = append(groups, cnt)
+	if len(groups) < 2 {
+		return groups, nil
+	}
+	// Rebalance the tail: if the last group underflows, merge it with its
+	// left neighbour and split the union at its weight midpoint.
+	lastStart := len(weights) - groups[len(groups)-1]
+	var lastW uint64
+	for _, w := range weights[lastStart:] {
+		lastW += w
+	}
+	if lastW > p.weightMin(level) {
+		return groups, nil
+	}
+	prevStart := lastStart - groups[len(groups)-2]
+	var total uint64
+	for _, w := range weights[prevStart:] {
+		total += w
+	}
+	var w uint64
+	split := 0
+	for i := prevStart; i < len(weights); i++ {
+		if w >= (total+1)/2 {
+			break
+		}
+		w += weights[i]
+		split = i - prevStart + 1
+	}
+	if split == 0 {
+		split = 1
+	}
+	if split == len(weights)-prevStart {
+		split = len(weights) - prevStart - 1
+	}
+	groups[len(groups)-2] = split
+	groups[len(groups)-1] = len(weights) - prevStart - split
+	return groups, nil
+}
+
+// planHeight reports the level at which packing the given leaf weights
+// terminates with a single node.
+func (p Params) planHeight(weights []uint64) (int, error) {
+	level := 0
+	for len(weights) > 1 {
+		level++
+		groups, err := p.planLevel(weights, level)
+		if err != nil {
+			return 0, err
+		}
+		next := make([]uint64, 0, len(groups))
+		i := 0
+		for _, g := range groups {
+			var sum uint64
+			for _, w := range weights[i : i+g] {
+				sum += w
+			}
+			next = append(next, sum)
+			i += g
+		}
+		weights = next
+	}
+	return level, nil
+}
+
+// predictPackCounts mirrors packLeaves: the record counts of the leaves
+// that packing n records will produce.
+func (p Params) predictPackCounts(n int) []int {
+	fill := p.LeafCap
+	var counts []int
+	for off := 0; off < n; off += fill {
+		c := fill
+		if off+c > n {
+			c = n - off
+		}
+		counts = append(counts, c)
+	}
+	if len(counts) >= 2 && counts[len(counts)-1] < p.K {
+		total := counts[len(counts)-2] + counts[len(counts)-1]
+		half := (total + 1) / 2
+		counts[len(counts)-2] = half
+		counts[len(counts)-1] = total - half
+	}
+	return counts
+}
+
+// buildInternal materializes planLevel's packing over the given ordered
+// level-0 nodes up to the natural height. Slots and ranges are NOT assigned
+// here; callers follow with relabelSubtree.
+func (l *Labeler) buildInternal(level0 []*node) (*node, int, error) {
+	cur := level0
+	level := 0
+	for len(cur) > 1 {
+		level++
+		weights := make([]uint64, len(cur))
+		for i, c := range cur {
+			weights[i] = c.weight()
+		}
+		groups, err := l.p.planLevel(weights, level)
+		if err != nil {
+			return nil, 0, err
+		}
+		next := make([]*node, 0, len(groups))
+		i := 0
+		for _, g := range groups {
+			cn, err := l.allocNode(uint16(level), 0)
+			if err != nil {
+				return nil, 0, err
+			}
+			for _, child := range cur[i : i+g] {
+				cn.ents = append(cn.ents, entry{child: child.blk, weight: child.weight(), size: child.size()})
+			}
+			i += g
+			// Writing happens here so relabelSubtree can re-read children.
+			if err := l.writeNode(cn); err != nil {
+				return nil, 0, err
+			}
+			next = append(next, cn)
+		}
+		cur = next
+	}
+	return cur[0], level + 1, nil
+}
+
+// rebuildAll rebuilds the whole structure from its live records: the
+// "global rebuilding" step triggered once tombstones reach half the tree.
+func (l *Labeler) rebuildAll() error {
+	if l.root == pager.NilBlock {
+		return nil
+	}
+	leaves, err := l.collectLeaves(l.root, true)
+	if err != nil {
+		return err
+	}
+	var recs []record
+	for _, leaf := range leaves {
+		for i := range leaf.recs {
+			if !leaf.recs[i].deleted {
+				recs = append(recs, leaf.recs[i])
+			}
+		}
+		if err := l.store.Free(leaf.blk); err != nil {
+			return err
+		}
+	}
+	l.logInvalidate(0, ^uint64(0))
+	return l.buildFromRecords(recs)
+}
+
+// collectLeaves gathers the leaf nodes below blk's subtree in order. If
+// freeInternal is set, internal blocks of the subtree are freed as they are
+// visited (the caller is rebuilding).
+func (l *Labeler) collectLeaves(blk pager.BlockID, freeInternal bool) ([]*node, error) {
+	n, err := l.readNode(blk)
+	if err != nil {
+		return nil, err
+	}
+	return l.collectLeavesNode(n, freeInternal)
+}
+
+func (l *Labeler) collectLeavesNode(n *node, freeInternal bool) ([]*node, error) {
+	if n.isLeaf() {
+		return []*node{n}, nil
+	}
+	var out []*node
+	for i := range n.ents {
+		sub, err := l.collectLeaves(n.ents[i].child, freeInternal)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sub...)
+	}
+	if freeInternal {
+		if err := l.store.Free(n.blk); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// InsertSubtreeBefore implements order.Labeler (Section 4, "Bulk loading
+// and subtree insert/delete"): find the lowest ancestor of the insertion
+// leaf with enough empty weight capacity for the new labels and rebuild
+// just that subtree; if none has room, rebuild the whole tree. Existing
+// leaves outside the insertion leaf keep their blocks, so LIDF updates are
+// limited to the new records and the split insertion leaf.
+func (l *Labeler) InsertSubtreeBefore(lidOld order.LID, tags []order.Tag) (_ []order.ElemLIDs, err error) {
+	if err := order.ValidateTagStream(tags); err != nil {
+		return nil, err
+	}
+	l.store.BeginOp()
+	defer l.store.EndOpInto(&err)
+
+	leaf, j, err := l.leafOf(lidOld)
+	if err != nil {
+		return nil, err
+	}
+	path, taken, err := l.descend(leaf.lo + uint64(j))
+	if err != nil {
+		return nil, err
+	}
+	nNew := uint64(len(tags))
+	if l.p.Ordinal && l.ologger != nil {
+		// All ordinals at or after the insertion point shift by the
+		// subtree size — exact even though the operation rebuilds nodes.
+		l.logOrdinalShift(ordinalAt(path, taken, j), int64(nNew))
+	}
+
+	// New records and LIDs.
+	elems := make([]order.ElemLIDs, len(tags)/2)
+	newRecs := make([]record, len(tags))
+	for i, t := range tags {
+		if t.Start {
+			s, e, err := l.file.AllocPair()
+			if err != nil {
+				return nil, err
+			}
+			elems[t.Elem] = order.ElemLIDs{Start: s, End: e}
+			newRecs[i] = record{lid: s, isStart: true, partnerLID: e}
+		} else {
+			newRecs[i] = record{lid: elems[t.Elem].End, partnerLID: elems[t.Elem].Start}
+		}
+	}
+
+	// Lowest ancestor with room for nNew more records whose subtree, once
+	// repacked with the new records, lands back at the same level.
+	chosenIdx := -1
+	for i := len(path) - 1; i > 0; i-- {
+		limit, ok := l.p.weightLimit(int(path[i].level))
+		if !ok {
+			return nil, order.ErrLabelOverflow
+		}
+		if path[i].weight()+nNew >= limit {
+			continue
+		}
+		ok, err := l.repackFeasible(path[i], leaf.blk, len(newRecs), int(path[i].level))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			chosenIdx = i
+			break
+		}
+	}
+
+	if chosenIdx <= 0 {
+		// No suitable ancestor: rebuild the whole tree from leaf runs,
+		// splicing the new records at the insertion point.
+		leaves, err := l.collectLeaves(l.root, true)
+		if err != nil {
+			return nil, err
+		}
+		if err := l.spliceAndRebuild(leaves, leaf.blk, j, newRecs, nil, 0); err != nil {
+			return nil, err
+		}
+		return elems, nil
+	}
+
+	chosen := path[chosenIdx]
+	parent := path[chosenIdx-1]
+	pIdx := taken[chosenIdx-1]
+	leaves, err := l.collectLeavesNode(chosen, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.spliceAndRebuild(leaves, leaf.blk, j, newRecs, parent, pIdx); err != nil {
+		return nil, err
+	}
+	// Ancestors above chosen gained nNew records. The parent's own entry
+	// for chosen was recomputed exactly by spliceAndRebuild, so only the
+	// entries strictly above it need the increment.
+	for i := 0; i < chosenIdx-1; i++ {
+		path[i].ents[taken[i]].weight += nNew
+		path[i].ents[taken[i]].size += nNew
+		if err := l.writeNode(path[i]); err != nil {
+			return nil, err
+		}
+	}
+	l.live += nNew
+	// Adding a large batch may push ancestors past their weight limits;
+	// restore the constraints with ordinary splits along the path.
+	if err := l.splitUntilValid(elems[0].Start); err != nil {
+		return nil, err
+	}
+	return elems, nil
+}
+
+// repackFeasible predicts whether repacking the leaves under chosen with
+// nNew extra records spliced into the boundary leaf yields a packing whose
+// natural top lands exactly at targetLevel.
+func (l *Labeler) repackFeasible(chosen *node, boundaryBlk pager.BlockID, nNew, targetLevel int) (bool, error) {
+	leaves, err := l.collectLeavesNode(chosen, false)
+	if err != nil {
+		return false, err
+	}
+	var weights []uint64
+	for _, lf := range leaves {
+		if lf.blk == boundaryBlk {
+			for _, c := range l.p.predictPackCounts(len(lf.recs) + nNew) {
+				weights = append(weights, uint64(c))
+			}
+			continue
+		}
+		weights = append(weights, lf.weight())
+	}
+	h, err := l.p.planHeight(weights)
+	if err != nil {
+		return false, err
+	}
+	return h == targetLevel, nil
+}
+
+// spliceAndRebuild rebuilds the subtree whose ordered leaves are given,
+// replacing the boundary leaf (block boundaryBlk) by a repacked run that
+// has newRecs inserted before its j-th record. With parent == nil the whole
+// tree is rebuilt; otherwise the packed top replaces parent.ents[pIdx]
+// (packing is guaranteed by repackFeasible to land at the right level).
+func (l *Labeler) spliceAndRebuild(leaves []*node, boundaryBlk pager.BlockID, j int, newRecs []record, parent *node, pIdx int) error {
+	bi := -1
+	for i, lf := range leaves {
+		if lf.blk == boundaryBlk {
+			bi = i
+			break
+		}
+	}
+	if bi < 0 {
+		return fmt.Errorf("wbox: boundary leaf %d not under rebuilt subtree", boundaryBlk)
+	}
+	boundary := leaves[bi]
+	region := make([]record, 0, len(boundary.recs)+len(newRecs))
+	region = append(region, boundary.recs[:j]...)
+	region = append(region, newRecs...)
+	region = append(region, boundary.recs[j:]...)
+	if err := l.store.Free(boundary.blk); err != nil {
+		return err
+	}
+	packed, err := l.packLeaves(region)
+	if err != nil {
+		return err
+	}
+	all := make([]*node, 0, len(leaves)-1+len(packed))
+	all = append(all, leaves[:bi]...)
+	all = append(all, packed...)
+	all = append(all, leaves[bi+1:]...)
+
+	var oldLo uint64
+	targetLevel := 0
+	if parent != nil {
+		targetLevel = int(parent.level) - 1
+		childLen, ok := l.p.rangeLen(targetLevel)
+		if !ok {
+			return order.ErrLabelOverflow
+		}
+		oldLo = parent.lo + uint64(parent.ents[pIdx].slot)*childLen
+	}
+
+	top, height, err := l.buildInternal(all)
+	if err != nil {
+		return err
+	}
+	var fixes []endFix
+	if parent == nil {
+		l.root = top.blk
+		l.height = height
+		l.live += uint64(len(newRecs))
+		if err := l.relabelSubtree(top, 0, &fixes); err != nil {
+			return err
+		}
+		l.logInvalidate(0, ^uint64(0))
+	} else {
+		if height-1 != targetLevel {
+			return fmt.Errorf("wbox: repack landed at level %d, want %d", height-1, targetLevel)
+		}
+		parent.ents[pIdx].child = top.blk
+		parent.ents[pIdx].weight = top.weight()
+		parent.ents[pIdx].size = top.size()
+		if err := l.writeNode(parent); err != nil {
+			return err
+		}
+		if err := l.relabelSubtree(top, oldLo, &fixes); err != nil {
+			return err
+		}
+		rl, _ := l.p.rangeLen(targetLevel)
+		l.logInvalidate(oldLo, oldLo+rl-1)
+	}
+	return l.applyEndFixes(fixes, nil)
+}
+
+// splitUntilValid runs the insert split loop (without a pending record)
+// along the path to lid's leaf until no node on it violates its weight
+// limit.
+func (l *Labeler) splitUntilValid(lid order.LID) error {
+	for {
+		leaf, j, err := l.leafOf(lid)
+		if err != nil {
+			return err
+		}
+		path, taken, err := l.descend(leaf.lo + uint64(j))
+		if err != nil {
+			return err
+		}
+		vIdx := -1
+		for i, n := range path {
+			limit, ok := l.p.weightLimit(int(n.level))
+			if !ok {
+				return order.ErrLabelOverflow
+			}
+			if n.weight() >= limit {
+				vIdx = i
+				break
+			}
+		}
+		if vIdx < 0 {
+			return nil
+		}
+		if err := l.splitNode(path, taken, vIdx); err != nil {
+			return err
+		}
+	}
+}

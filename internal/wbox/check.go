@@ -1,0 +1,164 @@
+package wbox
+
+import (
+	"fmt"
+
+	"boxes/internal/pager"
+)
+
+// CheckInvariants implements order.Labeler: it validates every structural
+// promise of Section 4 — weight constraints at every node, range/slot
+// consistency, LIDF pointer correctness, and (PairOptimized) exact partner
+// linkage. It reads the whole structure and is intended for tests.
+func (l *Labeler) CheckInvariants() (err error) {
+	l.store.BeginOp()
+	defer l.store.EndOpInto(&err)
+
+	if l.root == pager.NilBlock {
+		if l.live != 0 || l.dead != 0 {
+			return fmt.Errorf("wbox: empty tree with live=%d dead=%d", l.live, l.dead)
+		}
+		if l.file.Count() != 0 {
+			return fmt.Errorf("wbox: empty tree but LIDF holds %d records", l.file.Count())
+		}
+		return nil
+	}
+	root, err := l.readNode(l.root)
+	if err != nil {
+		return err
+	}
+	if int(root.level) != l.height-1 {
+		return fmt.Errorf("wbox: root at level %d, height %d", root.level, l.height)
+	}
+	if !root.isLeaf() && len(root.ents) < 2 {
+		return fmt.Errorf("wbox: internal root with %d children", len(root.ents))
+	}
+	var live, dead uint64
+	if err := l.checkNode(root, true, &live, &dead); err != nil {
+		return err
+	}
+	if live != l.live {
+		return fmt.Errorf("wbox: counted %d live records, tracking %d", live, l.live)
+	}
+	if dead != l.dead {
+		return fmt.Errorf("wbox: counted %d tombstones, tracking %d", dead, l.dead)
+	}
+	if l.file.Count() != l.live {
+		return fmt.Errorf("wbox: LIDF holds %d records, live count %d", l.file.Count(), l.live)
+	}
+	return nil
+}
+
+func (l *Labeler) checkNode(n *node, isRoot bool, live, dead *uint64) error {
+	limit, ok := l.p.weightLimit(int(n.level))
+	if !ok {
+		return fmt.Errorf("wbox: node %d level %d beyond label width", n.blk, n.level)
+	}
+	w := n.weight()
+	if w >= limit {
+		return fmt.Errorf("wbox: node %d weight %d >= limit %d (level %d)", n.blk, w, limit, n.level)
+	}
+	if !isRoot && w <= l.p.weightMin(int(n.level)) {
+		return fmt.Errorf("wbox: node %d weight %d <= min %d (level %d)", n.blk, w, l.p.weightMin(int(n.level)), n.level)
+	}
+
+	if n.isLeaf() {
+		if len(n.recs) > l.p.LeafCap {
+			return fmt.Errorf("wbox: leaf %d holds %d records, cap %d", n.blk, len(n.recs), l.p.LeafCap)
+		}
+		for i := range n.recs {
+			r := &n.recs[i]
+			if r.deleted {
+				*dead++
+				continue
+			}
+			*live++
+			got, err := l.file.GetU64(r.lid)
+			if err != nil {
+				return fmt.Errorf("wbox: leaf %d record %d (lid %d): LIDF: %w", n.blk, i, r.lid, err)
+			}
+			if pager.BlockID(got) != n.blk {
+				return fmt.Errorf("wbox: lid %d LIDF points at block %d, record lives in %d", r.lid, got, n.blk)
+			}
+			if l.p.Variant == PairOptimized {
+				if err := l.checkPartner(n, i); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	childLen, ok := l.p.rangeLen(int(n.level) - 1)
+	if !ok {
+		return fmt.Errorf("wbox: node %d child range overflow", n.blk)
+	}
+	prevSlot := -1
+	for i := range n.ents {
+		e := n.ents[i]
+		if int(e.slot) <= prevSlot {
+			return fmt.Errorf("wbox: node %d slots not increasing at entry %d", n.blk, i)
+		}
+		if int(e.slot) >= l.p.B {
+			return fmt.Errorf("wbox: node %d entry %d slot %d >= b=%d", n.blk, i, e.slot, l.p.B)
+		}
+		prevSlot = int(e.slot)
+		child, err := l.readNode(e.child)
+		if err != nil {
+			return err
+		}
+		if int(child.level) != int(n.level)-1 {
+			return fmt.Errorf("wbox: node %d (level %d) has child %d at level %d", n.blk, n.level, child.blk, child.level)
+		}
+		wantLo := n.lo + uint64(e.slot)*childLen
+		if child.lo != wantLo {
+			return fmt.Errorf("wbox: child %d lo = %d, want %d (parent %d slot %d)", child.blk, child.lo, wantLo, n.blk, e.slot)
+		}
+		if cw := child.weight(); cw != e.weight {
+			return fmt.Errorf("wbox: node %d entry %d weight %d, child actual %d", n.blk, i, e.weight, cw)
+		}
+		if l.p.Ordinal {
+			if cs := child.size(); cs != e.size {
+				return fmt.Errorf("wbox: node %d entry %d size %d, child actual %d", n.blk, i, e.size, cs)
+			}
+		}
+		if err := l.checkNode(child, false, live, dead); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkPartner validates the PairOptimized linkage of n.recs[i].
+func (l *Labeler) checkPartner(n *node, i int) error {
+	r := &n.recs[i]
+	if r.partnerBlk == pager.NilBlock {
+		return nil // element's partner was deleted; linkage cleared
+	}
+	pn := n
+	if r.partnerBlk != n.blk {
+		var err error
+		pn, err = l.readNode(r.partnerBlk)
+		if err != nil {
+			return fmt.Errorf("wbox: lid %d partner block %d: %w", r.lid, r.partnerBlk, err)
+		}
+	}
+	pi := pn.findRec(r.partnerLID)
+	if pi < 0 {
+		return fmt.Errorf("wbox: lid %d partner lid %d missing from block %d", r.lid, r.partnerLID, r.partnerBlk)
+	}
+	p := &pn.recs[pi]
+	if p.partnerLID != r.lid || p.partnerBlk != n.blk {
+		return fmt.Errorf("wbox: lid %d partner linkage not symmetric (partner %d points at lid %d block %d)", r.lid, r.partnerLID, p.partnerLID, p.partnerBlk)
+	}
+	if r.isStart == p.isStart {
+		return fmt.Errorf("wbox: lid %d and partner %d are both %v records", r.lid, r.partnerLID, r.isStart)
+	}
+	if r.isStart {
+		endLabel := pn.lo + uint64(pi)
+		if r.endCopy != endLabel {
+			return fmt.Errorf("wbox: start lid %d cached end label %d, actual %d", r.lid, r.endCopy, endLabel)
+		}
+	}
+	return nil
+}

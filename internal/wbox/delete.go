@@ -1,0 +1,325 @@
+package wbox
+
+import (
+	"fmt"
+
+	"boxes/internal/order"
+	"boxes/internal/pager"
+)
+
+// DeleteSubtree implements order.Labeler: delete the contiguous label range
+// from start's label to end's label, i.e. an element together with all its
+// descendants (Section 4, "Bulk loading and subtree insert/delete"). Whole
+// leaves inside the range are dropped in O(N'/B) I/Os; the two boundary
+// leaves are edited in place; if the removal violates a weight constraint
+// anywhere, the tree is rebuilt from its leaf runs (the paper's O(N/B)
+// worst case).
+func (l *Labeler) DeleteSubtree(start, end order.LID) (err error) {
+	l.store.BeginOp()
+	defer l.store.EndOpInto(&err)
+
+	leafS, si, err := l.leafOf(start)
+	if err != nil {
+		return err
+	}
+	l1 := leafS.lo + uint64(si)
+	leafE, ei, err := l.leafOf(end)
+	if err != nil {
+		return err
+	}
+	l2 := leafE.lo + uint64(ei)
+	if l1 > l2 {
+		return fmt.Errorf("wbox: delete range start %d after end %d", l1, l2)
+	}
+	if l.p.Variant == PairOptimized {
+		// The range must be one element's subtree, so its endpoints are
+		// partners; this guarantees partner pointers never dangle.
+		if leafS.recs[si].partnerLID != end {
+			return fmt.Errorf("wbox: DeleteSubtree endpoints are not one element's start/end labels")
+		}
+	}
+
+	if l.p.Ordinal && l.ologger != nil {
+		o1, err := l.OrdinalLookup(start)
+		if err != nil {
+			return err
+		}
+		o2, err := l.OrdinalLookup(end)
+		if err != nil {
+			return err
+		}
+		l.ologger.LogInvalidate(o1, o2)
+		l.logOrdinalShift(o2+1, -int64(o2-o1+1))
+	}
+	root, err := l.readNode(l.root)
+	if err != nil {
+		return err
+	}
+	var violated bool
+	remW, remS, empty, err := l.removeRange(root, l1, l2, true, &violated)
+	if err != nil {
+		return err
+	}
+	l.live -= remS
+	l.dead -= remW - remS
+	l.logInvalidate(l1, ^uint64(0))
+
+	if empty {
+		if err := l.store.Free(root.blk); err != nil {
+			return err
+		}
+		l.root = pager.NilBlock
+		l.height = 0
+		return nil
+	}
+	// Collapse the root while it has a single child (the root must have
+	// more than one child).
+	for {
+		root, err = l.readNode(l.root)
+		if err != nil {
+			return err
+		}
+		if root.isLeaf() || len(root.ents) > 1 {
+			break
+		}
+		child := root.ents[0].child
+		if err := l.store.Free(root.blk); err != nil {
+			return err
+		}
+		l.root = child
+		l.height--
+	}
+	if violated {
+		return l.rebuildFromLeafRuns()
+	}
+	return nil
+}
+
+// removeRange removes every record with a label in [l1, l2] from n's
+// subtree, returning the removed (total, live) record counts and whether n
+// became empty. violated is set when a surviving non-root node ends up at
+// or below its minimum weight.
+func (l *Labeler) removeRange(n *node, l1, l2 uint64, isRoot bool, violated *bool) (remW, remS uint64, empty bool, err error) {
+	if n.isLeaf() {
+		kept := n.recs[:0:0]
+		removedLive := uint64(0)
+		removedAll := uint64(0)
+		shiftFrom := -1
+		for i := range n.recs {
+			label := n.lo + uint64(i)
+			if label < l1 || label > l2 {
+				if removedAll > 0 && shiftFrom < 0 {
+					shiftFrom = i
+				}
+				kept = append(kept, n.recs[i])
+				continue
+			}
+			removedAll++
+			if !n.recs[i].deleted {
+				removedLive++
+				if err := l.file.Free(n.recs[i].lid); err != nil {
+					return 0, 0, false, err
+				}
+			}
+		}
+		if removedAll == 0 {
+			return 0, 0, false, nil
+		}
+		if len(kept) == 0 {
+			if err := l.store.Free(n.blk); err != nil {
+				return 0, 0, false, err
+			}
+			return removedAll, removedLive, true, nil
+		}
+		n.recs = kept
+		if shiftFrom >= 0 {
+			// Records after the removed range slid down by removedAll.
+			l.logShift(l2+1, n.lo+uint64(len(kept))+removedAll-1, -int64(removedAll))
+		}
+		if err := l.writeNode(n); err != nil {
+			return 0, 0, false, err
+		}
+		if l.p.Variant == PairOptimized && shiftFrom >= 0 {
+			var fixes []endFix
+			for i := range n.recs {
+				r := &n.recs[i]
+				if r.deleted || r.isStart || r.partnerBlk == pager.NilBlock {
+					continue
+				}
+				fixes = append(fixes, endFix{blk: r.partnerBlk, startLID: r.partnerLID, newEnd: n.lo + uint64(i)})
+			}
+			if err := l.applyEndFixes(fixes, n); err != nil {
+				return 0, 0, false, err
+			}
+		}
+		if !isRoot && uint64(len(n.recs)) <= l.p.weightMin(0) {
+			*violated = true
+		}
+		return removedAll, removedLive, false, nil
+	}
+
+	childLen, ok := l.p.rangeLen(int(n.level) - 1)
+	if !ok {
+		return 0, 0, false, order.ErrLabelOverflow
+	}
+	keptEnts := n.ents[:0:0]
+	for i := range n.ents {
+		e := n.ents[i]
+		clo := n.lo + uint64(e.slot)*childLen
+		chi := clo + childLen - 1
+		if chi < l1 || clo > l2 {
+			keptEnts = append(keptEnts, e)
+			continue
+		}
+		if l1 <= clo && chi <= l2 {
+			w, s, err := l.freeSubtree(e.child)
+			if err != nil {
+				return 0, 0, false, err
+			}
+			remW += w
+			remS += s
+			continue
+		}
+		child, err := l.readNode(e.child)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		w, s, childEmpty, err := l.removeRange(child, l1, l2, false, violated)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		remW += w
+		remS += s
+		if childEmpty {
+			continue
+		}
+		e.weight -= w
+		e.size -= s
+		keptEnts = append(keptEnts, e)
+	}
+	if len(keptEnts) == 0 {
+		if err := l.store.Free(n.blk); err != nil {
+			return 0, 0, false, err
+		}
+		return remW, remS, true, nil
+	}
+	n.ents = keptEnts
+	if err := l.writeNode(n); err != nil {
+		return 0, 0, false, err
+	}
+	if !isRoot && n.weight() <= l.p.weightMin(int(n.level)) {
+		*violated = true
+	}
+	return remW, remS, false, nil
+}
+
+// freeSubtree releases every block of blk's subtree and the LIDF records of
+// its live labels, returning the (total, live) record counts removed.
+func (l *Labeler) freeSubtree(blk pager.BlockID) (remW, remS uint64, err error) {
+	n, err := l.readNode(blk)
+	if err != nil {
+		return 0, 0, err
+	}
+	if n.isLeaf() {
+		for i := range n.recs {
+			if !n.recs[i].deleted {
+				remS++
+				if err := l.file.Free(n.recs[i].lid); err != nil {
+					return 0, 0, err
+				}
+			}
+		}
+		remW = uint64(len(n.recs))
+	} else {
+		for i := range n.ents {
+			w, s, err := l.freeSubtree(n.ents[i].child)
+			if err != nil {
+				return 0, 0, err
+			}
+			remW += w
+			remS += s
+		}
+	}
+	if err := l.store.Free(n.blk); err != nil {
+		return 0, 0, err
+	}
+	return remW, remS, nil
+}
+
+// rebuildFromLeafRuns rebuilds the internal structure over the existing
+// leaves, repacking only leaves that underflow (so LIDF updates stay
+// bounded by the damage).
+func (l *Labeler) rebuildFromLeafRuns() error {
+	leaves, err := l.collectLeaves(l.root, true)
+	if err != nil {
+		return err
+	}
+	repaired, err := l.repairLeafRuns(leaves)
+	if err != nil {
+		return err
+	}
+	top, height, err := l.buildInternal(repaired)
+	if err != nil {
+		return err
+	}
+	l.root = top.blk
+	l.height = height
+	var fixes []endFix
+	if err := l.relabelSubtree(top, 0, &fixes); err != nil {
+		return err
+	}
+	l.logInvalidate(0, ^uint64(0))
+	return l.applyEndFixes(fixes, nil)
+}
+
+// repairLeafRuns merges underfull leaves with a neighbour, repacking each
+// pair into one or two valid leaves, until no leaf (other than a lone root
+// leaf) underflows.
+func (l *Labeler) repairLeafRuns(leaves []*node) ([]*node, error) {
+	minLeaf := l.p.weightMin(0)
+	for {
+		if len(leaves) <= 1 {
+			return leaves, nil
+		}
+		bad := -1
+		for i, lf := range leaves {
+			if uint64(len(lf.recs)) <= minLeaf {
+				bad = i
+				break
+			}
+		}
+		if bad < 0 {
+			return leaves, nil
+		}
+		buddy := bad + 1
+		if buddy == len(leaves) {
+			buddy = bad - 1
+		}
+		a, b := leaves[bad], leaves[buddy]
+		if buddy < bad {
+			a, b = b, a
+		}
+		combined := make([]record, 0, len(a.recs)+len(b.recs))
+		combined = append(combined, a.recs...)
+		combined = append(combined, b.recs...)
+		if err := l.store.Free(a.blk); err != nil {
+			return nil, err
+		}
+		if err := l.store.Free(b.blk); err != nil {
+			return nil, err
+		}
+		packed, err := l.packLeaves(combined)
+		if err != nil {
+			return nil, err
+		}
+		lo := bad
+		if buddy < bad {
+			lo = buddy
+		}
+		next := make([]*node, 0, len(leaves)-2+len(packed))
+		next = append(next, leaves[:lo]...)
+		next = append(next, packed...)
+		next = append(next, leaves[lo+2:]...)
+		leaves = next
+	}
+}

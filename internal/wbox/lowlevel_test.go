@@ -1,0 +1,89 @@
+package wbox
+
+import (
+	"testing"
+
+	"boxes/internal/order"
+)
+
+// TestInsertBeforeSingleLabels exercises the low-level insert-before
+// primitive on the basic variant, including enough volume to force leaf
+// and internal splits.
+func TestInsertBeforeSingleLabels(t *testing.T) {
+	l := newLabeler(t, 512, Basic, false)
+	e, err := l.InsertFirstElement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := e.Start
+	for i := 0; i < 500; i++ {
+		lid, err := l.InsertBefore(e.End)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		lp, err := l.Lookup(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := l.Lookup(lid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		le, err := l.Lookup(e.End)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(lp < ln && ln < le) {
+			t.Fatalf("insert %d: order violated: %d, %d, %d", i, lp, ln, le)
+		}
+		prev = lid
+	}
+	if l.Count() != 502 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	if l.Height() < 2 {
+		t.Fatalf("height = %d; the chain should have split leaves", l.Height())
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorstCaseSplitPath drives enough adjacent-slot pressure to hit the
+// "both adjacent subranges taken" branch, where all of the parent's
+// children are reassigned equally spaced subranges and the whole subtree
+// relabels.
+func TestWorstCaseSplitPath(t *testing.T) {
+	l := newLabeler(t, 512, Basic, false)
+	elems, err := l.BulkLoad(order.TagStreamFromPairs(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := order.NewOracle()
+	lids := make([]order.LID, 0, 80)
+	lids = append(lids, elems[0].Start)
+	for _, e := range elems[1:] {
+		lids = append(lids, e.Start, e.End)
+	}
+	lids = append(lids, elems[0].End)
+	o.Load(lids)
+	// Squeeze at several distinct spots so sibling slots fill up and at
+	// least some splits find both neighbours occupied.
+	anchors := []order.LID{elems[5].Start, elems[15].Start, elems[25].Start, elems[35].Start}
+	for round := 0; round < 120; round++ {
+		a := anchors[round%len(anchors)]
+		ne, err := l.InsertElementBefore(a)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := o.InsertElementBefore(ne, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.CheckAgainst(l, false); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package wbox
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"boxes/internal/pager"
+)
+
+// MarshalMeta serializes the W-BOX's root pointer, height, counters, and
+// LIDF bookkeeping so the structure can be reopened over a persistent
+// backend.
+func (l *Labeler) MarshalMeta() []byte {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, uint8(l.p.Variant))
+	binary.Write(&buf, binary.LittleEndian, boolByte(l.p.Ordinal))
+	binary.Write(&buf, binary.LittleEndian, uint64(l.root))
+	binary.Write(&buf, binary.LittleEndian, uint32(l.height))
+	binary.Write(&buf, binary.LittleEndian, l.live)
+	binary.Write(&buf, binary.LittleEndian, l.dead)
+	lm := l.file.MarshalMeta()
+	binary.Write(&buf, binary.LittleEndian, uint32(len(lm)))
+	buf.Write(lm)
+	return buf.Bytes()
+}
+
+// RestoreMeta restores state saved by MarshalMeta into a freshly created
+// (empty) W-BOX with identical parameters over the same backend.
+func (l *Labeler) RestoreMeta(data []byte) error {
+	r := bytes.NewReader(data)
+	var variant, ordinal uint8
+	if err := binary.Read(r, binary.LittleEndian, &variant); err != nil {
+		return fmt.Errorf("wbox: meta: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &ordinal); err != nil {
+		return err
+	}
+	if Variant(variant) != l.p.Variant || (ordinal == 1) != l.p.Ordinal {
+		return fmt.Errorf("wbox: meta variant/ordinal (%d,%d) do not match parameters (%d,%v)",
+			variant, ordinal, l.p.Variant, l.p.Ordinal)
+	}
+	var root uint64
+	var height uint32
+	if err := binary.Read(r, binary.LittleEndian, &root); err != nil {
+		return err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &height); err != nil {
+		return err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &l.live); err != nil {
+		return err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &l.dead); err != nil {
+		return err
+	}
+	var lmLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &lmLen); err != nil {
+		return err
+	}
+	lm := make([]byte, lmLen)
+	if _, err := r.Read(lm); err != nil {
+		return err
+	}
+	if err := l.file.RestoreMeta(lm); err != nil {
+		return err
+	}
+	l.root = pager.BlockID(root)
+	l.height = int(height)
+	return nil
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

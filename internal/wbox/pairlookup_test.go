@@ -1,0 +1,83 @@
+package wbox
+
+import (
+	"testing"
+
+	"boxes/internal/order"
+)
+
+// TestLookupPairAfterPartnerDeleted verifies that W-BOX-O degrades
+// gracefully when one label of an element is deleted: the surviving
+// record's linkage is cleared and pair lookups fall back to two lookups
+// for it.
+func TestLookupPairAfterPartnerDeleted(t *testing.T) {
+	l := newLabeler(t, 512, PairOptimized, false)
+	elems, err := l.BulkLoad(order.TagStreamFromPairs(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := elems[10]
+	if err := l.Delete(victim.End); err != nil {
+		t.Fatal(err)
+	}
+	// Looking up the start label alone still works.
+	if _, err := l.Lookup(victim.Start); err != nil {
+		t.Fatal(err)
+	}
+	// The pair lookup of the half-deleted element must error on the dead
+	// end LID rather than returning a stale cached copy.
+	if _, _, err := l.LookupPair(victim.Start, victim.End); err == nil {
+		t.Fatal("pair lookup of half-deleted element returned stale data")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Other elements' pairs are unaffected.
+	s, e, err := l.LookupPair(elems[11].Start, elems[11].End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s >= e {
+		t.Fatalf("pair (%d, %d) out of order", s, e)
+	}
+}
+
+// TestLookupPairConsistencyUnderChurn hammers W-BOX-O with concentrated
+// churn and verifies after every operation batch that the cached end copy
+// served by LookupPair matches the true end label.
+func TestLookupPairConsistencyUnderChurn(t *testing.T) {
+	l := newLabeler(t, 512, PairOptimized, false)
+	elems, err := l.BulkLoad(order.TagStreamFromPairs(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := append([]order.ElemLIDs(nil), elems...)
+	anchor := elems[30].Start
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 5; i++ {
+			ne, err := l.InsertElementBefore(anchor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, ne)
+			anchor = ne.Start
+		}
+		for _, e := range live {
+			s, en, err := l.LookupPair(e.Start, e.End)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds, err := l.Lookup(e.Start)
+			if err != nil {
+				t.Fatal(err)
+			}
+			de, err := l.Lookup(e.End)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s != ds || en != de {
+				t.Fatalf("round %d: pair (%d,%d) != direct (%d,%d)", round, s, en, ds, de)
+			}
+		}
+	}
+}

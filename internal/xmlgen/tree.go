@@ -1,0 +1,233 @@
+// Package xmlgen models XML documents as element trees and generates the
+// synthetic documents used by the experiments: the paper's two-level base
+// document and an XMark-shaped document standing in for the XMark benchmark
+// data (which is not redistributable; the labeling experiments depend only
+// on tree shape, which the generator reproduces).
+package xmlgen
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"boxes/internal/order"
+)
+
+// Node is one XML element.
+type Node struct {
+	Name     string
+	Text     string // character data directly inside the element, if any
+	Children []*Node
+}
+
+// AddChild appends a child element and returns it.
+func (n *Node) AddChild(name string) *Node {
+	c := &Node{Name: name}
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// Tree is a whole XML document.
+type Tree struct {
+	Root *Node
+}
+
+// NewTree returns a tree with a root element of the given name.
+func NewTree(rootName string) *Tree {
+	return &Tree{Root: &Node{Name: rootName}}
+}
+
+// Elements counts the elements in the tree.
+func (t *Tree) Elements() int {
+	if t == nil || t.Root == nil {
+		return 0
+	}
+	return countNodes(t.Root)
+}
+
+func countNodes(n *Node) int {
+	c := 1
+	for _, ch := range n.Children {
+		c += countNodes(ch)
+	}
+	return c
+}
+
+// Depth returns the depth of the tree (1 for a lone root).
+func (t *Tree) Depth() int {
+	if t == nil || t.Root == nil {
+		return 0
+	}
+	return nodeDepth(t.Root)
+}
+
+func nodeDepth(n *Node) int {
+	d := 0
+	for _, ch := range n.Children {
+		if cd := nodeDepth(ch); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}
+
+// Preorder visits every node in document order. The callback receives the
+// node, its parent (nil for the root), and the node's preorder index.
+func (t *Tree) Preorder(visit func(n, parent *Node, index int)) {
+	if t == nil || t.Root == nil {
+		return
+	}
+	idx := 0
+	var walk func(n, parent *Node)
+	walk = func(n, parent *Node) {
+		visit(n, parent, idx)
+		idx++
+		for _, ch := range n.Children {
+			walk(ch, n)
+		}
+	}
+	walk(t.Root, nil)
+}
+
+// Nodes returns all nodes in preorder.
+func (t *Tree) Nodes() []*Node {
+	out := make([]*Node, 0, t.Elements())
+	t.Preorder(func(n, _ *Node, _ int) { out = append(out, n) })
+	return out
+}
+
+// TagStream converts the tree into the document tag stream consumed by the
+// Labeler bulk-loading operations. Element indices are preorder indices.
+func (t *Tree) TagStream() []order.Tag {
+	tags := make([]order.Tag, 0, 2*t.Elements())
+	index := make(map[*Node]int32, t.Elements())
+	next := int32(0)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		id := next
+		next++
+		index[n] = id
+		tags = append(tags, order.Tag{Elem: id, Start: true})
+		for _, ch := range n.Children {
+			walk(ch)
+		}
+		tags = append(tags, order.Tag{Elem: id, Start: false})
+	}
+	if t != nil && t.Root != nil {
+		walk(t.Root)
+	}
+	return tags
+}
+
+// TwoLevel generates the paper's base document: a root with n-1 children,
+// n elements in total. n must be at least 1.
+func TwoLevel(n int) *Tree {
+	t := NewTree("base")
+	for i := 1; i < n; i++ {
+		t.Root.AddChild("item")
+	}
+	return t
+}
+
+// WriteXML serializes the tree as XML.
+func (t *Tree) WriteXML(w io.Writer) error {
+	if t == nil || t.Root == nil {
+		return fmt.Errorf("xmlgen: empty tree")
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	return writeNode(w, t.Root, 0)
+}
+
+func writeNode(w io.Writer, n *Node, depth int) error {
+	indent := strings.Repeat("  ", depth)
+	if len(n.Children) == 0 && n.Text == "" {
+		_, err := fmt.Fprintf(w, "%s<%s/>\n", indent, n.Name)
+		return err
+	}
+	if len(n.Children) == 0 {
+		var buf strings.Builder
+		if err := xml.EscapeText(&buf, []byte(n.Text)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s<%s>%s</%s>\n", indent, n.Name, buf.String(), n.Name)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s<%s>\n", indent, n.Name); err != nil {
+		return err
+	}
+	if n.Text != "" {
+		var buf strings.Builder
+		if err := xml.EscapeText(&buf, []byte(n.Text)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s  %s\n", indent, buf.String()); err != nil {
+			return err
+		}
+	}
+	for _, ch := range n.Children {
+		if err := writeNode(w, ch, depth+1); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s</%s>\n", indent, n.Name)
+	return err
+}
+
+// Parse reads an XML document into a Tree. Only element structure and
+// character data are retained; attributes, comments and processing
+// instructions are ignored (labels are attached to elements only).
+func Parse(r io.Reader) (*Tree, error) {
+	dec := xml.NewDecoder(r)
+	var stack []*Node
+	var root *Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlgen: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Name: t.Name.Local}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmlgen: multiple root elements")
+				}
+				root = n
+			} else {
+				top := stack[len(stack)-1]
+				top.Children = append(top.Children, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmlgen: unbalanced end tag %s", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				s := strings.TrimSpace(string(t))
+				if s != "" {
+					top := stack[len(stack)-1]
+					if top.Text == "" {
+						top.Text = s
+					} else {
+						top.Text += " " + s
+					}
+				}
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmlgen: no root element")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmlgen: %d unclosed elements", len(stack))
+	}
+	return &Tree{Root: root}, nil
+}

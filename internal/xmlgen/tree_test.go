@@ -1,0 +1,216 @@
+package xmlgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"boxes/internal/order"
+)
+
+func TestTwoLevel(t *testing.T) {
+	tr := TwoLevel(100)
+	if got := tr.Elements(); got != 100 {
+		t.Fatalf("elements = %d, want 100", got)
+	}
+	if got := tr.Depth(); got != 2 {
+		t.Fatalf("depth = %d, want 2", got)
+	}
+	if len(tr.Root.Children) != 99 {
+		t.Fatalf("children = %d, want 99", len(tr.Root.Children))
+	}
+}
+
+func TestTwoLevelSingleton(t *testing.T) {
+	tr := TwoLevel(1)
+	if tr.Elements() != 1 || tr.Depth() != 1 {
+		t.Fatalf("elements=%d depth=%d", tr.Elements(), tr.Depth())
+	}
+}
+
+func TestTagStreamWellFormed(t *testing.T) {
+	tr := XMark(500, 1)
+	tags := tr.TagStream()
+	if len(tags) != 2*tr.Elements() {
+		t.Fatalf("tags = %d, want %d", len(tags), 2*tr.Elements())
+	}
+	if err := order.ValidateTagStream(tags); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagStreamPreorderIndices(t *testing.T) {
+	tr := NewTree("a")
+	b := tr.Root.AddChild("b")
+	b.AddChild("c")
+	tr.Root.AddChild("d")
+	tags := tr.TagStream()
+	want := []order.Tag{
+		{Elem: 0, Start: true},
+		{Elem: 1, Start: true},
+		{Elem: 2, Start: true},
+		{Elem: 2, Start: false},
+		{Elem: 1, Start: false},
+		{Elem: 3, Start: true},
+		{Elem: 3, Start: false},
+		{Elem: 0, Start: false},
+	}
+	if len(tags) != len(want) {
+		t.Fatalf("tags = %v", tags)
+	}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Fatalf("tags[%d] = %v, want %v", i, tags[i], want[i])
+		}
+	}
+}
+
+func TestXMarkDeterministic(t *testing.T) {
+	a := XMark(2000, 42)
+	b := XMark(2000, 42)
+	if a.Elements() != b.Elements() {
+		t.Fatalf("same seed, different sizes: %d vs %d", a.Elements(), b.Elements())
+	}
+	ta, tb := a.TagStream(), b.TagStream()
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("same seed, different shape at tag %d", i)
+		}
+	}
+	c := XMark(2000, 43)
+	if c.Elements() == a.Elements() {
+		tc := c.TagStream()
+		same := true
+		for i := range ta {
+			if ta[i] != tc[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical documents")
+		}
+	}
+}
+
+func TestXMarkSizeAndShape(t *testing.T) {
+	tr := XMark(10000, 7)
+	n := tr.Elements()
+	if n < 10000 || n > 11000 {
+		t.Fatalf("elements = %d, want ~10000", n)
+	}
+	d := tr.Depth()
+	if d < 5 || d > 12 {
+		t.Fatalf("depth = %d, want XMark-like depth in [5,12]", d)
+	}
+	// Top-level sections must all exist.
+	var names []string
+	for _, c := range tr.Root.Children {
+		names = append(names, c.Name)
+	}
+	want := []string{"regions", "categories", "catgraph", "people", "open_auctions", "closed_auctions"}
+	for _, w := range want {
+		found := false
+		for _, n := range names {
+			if n == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing section %s in %v", w, names)
+		}
+	}
+}
+
+func TestWriteXMLParseRoundTrip(t *testing.T) {
+	tr := XMark(800, 3)
+	var buf bytes.Buffer
+	if err := tr.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Elements() != tr.Elements() {
+		t.Fatalf("round trip elements %d != %d", back.Elements(), tr.Elements())
+	}
+	ta, tb := tr.TagStream(), back.TagStream()
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("round trip shape differs at tag %d", i)
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"<a><b></a></b>",
+		"<a></a><b></b>",
+		"no xml at all",
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("Parse(%q) succeeded", c)
+		}
+	}
+}
+
+func TestParseKeepsText(t *testing.T) {
+	tr, err := Parse(strings.NewReader("<a><b>hello</b><c/></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root.Children[0].Text != "hello" {
+		t.Fatalf("text = %q", tr.Root.Children[0].Text)
+	}
+}
+
+func TestPreorderIndexMatchesNodesOrder(t *testing.T) {
+	tr := XMark(300, 9)
+	nodes := tr.Nodes()
+	i := 0
+	tr.Preorder(func(n, _ *Node, idx int) {
+		if idx != i || nodes[idx] != n {
+			t.Fatalf("preorder mismatch at %d", idx)
+		}
+		i++
+	})
+	if i != tr.Elements() {
+		t.Fatalf("visited %d, want %d", i, tr.Elements())
+	}
+}
+
+// Property: every generated XMark document yields a well-formed tag stream.
+func TestQuickXMarkWellFormed(t *testing.T) {
+	f := func(seed int64, size uint16) bool {
+		n := int(size%3000) + 10
+		tr := XMark(n, seed)
+		return order.ValidateTagStream(tr.TagStream()) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteXMLEscapesText(t *testing.T) {
+	tr := NewTree("a")
+	b := tr.Root.AddChild("b")
+	b.Text = `5 < 6 && "quoted" <tag>`
+	var buf bytes.Buffer
+	if err := tr.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<tag>") {
+		t.Fatalf("unescaped text in output:\n%s", buf.String())
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Root.Children[0].Text != b.Text {
+		t.Fatalf("text round trip: %q != %q", back.Root.Children[0].Text, b.Text)
+	}
+}

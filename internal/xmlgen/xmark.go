@@ -1,0 +1,218 @@
+package xmlgen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// XMark generates a deterministic document shaped like an XMark benchmark
+// instance: an auction site with regions/items, categories, people, and
+// open/closed auctions, with XMark-like fan-outs and element depths. The
+// generator stops once at least targetElements elements exist (it may
+// overshoot slightly to finish the entity it is emitting).
+//
+// The labeling experiments depend only on the tree *shape* of the document
+// — the sequence of depths at which elements appear in document order — so
+// this synthetic stand-in preserves the behaviour of the original XMark
+// data for every experiment in the paper.
+func XMark(targetElements int, seed int64) *Tree {
+	if targetElements < 7 {
+		targetElements = 7
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &xmarkGen{rng: rng, target: targetElements}
+	return g.generate()
+}
+
+type xmarkGen struct {
+	rng    *rand.Rand
+	target int
+	count  int
+	serial int
+}
+
+func (g *xmarkGen) add(parent *Node, name string) *Node {
+	g.count++
+	return parent.AddChild(name)
+}
+
+func (g *xmarkGen) leaf(parent *Node, name, text string) *Node {
+	n := g.add(parent, name)
+	n.Text = text
+	return n
+}
+
+func (g *xmarkGen) id(prefix string) string {
+	g.serial++
+	return fmt.Sprintf("%s%d", prefix, g.serial)
+}
+
+func (g *xmarkGen) done() bool { return g.count >= g.target }
+
+var xmarkRegions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+func (g *xmarkGen) generate() *Tree {
+	t := NewTree("site")
+	g.count = 1
+	regions := g.add(t.Root, "regions")
+	regionNodes := make([]*Node, len(xmarkRegions))
+	for i, r := range xmarkRegions {
+		regionNodes[i] = g.add(regions, r)
+	}
+	categories := g.add(t.Root, "categories")
+	catgraph := g.add(t.Root, "catgraph")
+	people := g.add(t.Root, "people")
+	open := g.add(t.Root, "open_auctions")
+	closed := g.add(t.Root, "closed_auctions")
+
+	// XMark entity ratios per "unit" (items : categories : persons :
+	// open : closed ≈ 21750 : 1000 : 25500 : 12000 : 9750). We emit one
+	// mixed round per iteration, preserving those proportions.
+	for !g.done() {
+		for i := 0; i < 9 && !g.done(); i++ {
+			g.item(regionNodes[g.rng.Intn(len(regionNodes))])
+		}
+		if !g.done() {
+			g.category(categories)
+			g.edge(catgraph)
+		}
+		for i := 0; i < 10 && !g.done(); i++ {
+			g.person(people)
+		}
+		for i := 0; i < 5 && !g.done(); i++ {
+			g.openAuction(open)
+		}
+		for i := 0; i < 4 && !g.done(); i++ {
+			g.closedAuction(closed)
+		}
+	}
+	return t
+}
+
+func (g *xmarkGen) item(region *Node) {
+	it := g.add(region, "item")
+	g.leaf(it, "location", "United States")
+	g.leaf(it, "quantity", "1")
+	g.leaf(it, "name", g.id("item"))
+	g.leaf(it, "payment", "Creditcard")
+	g.description(it)
+	g.leaf(it, "shipping", "Will ship internationally")
+	for i := g.rng.Intn(3) + 1; i > 0; i-- {
+		g.leaf(it, "incategory", g.id("category"))
+	}
+	mb := g.add(it, "mailbox")
+	for i := g.rng.Intn(2); i > 0; i-- {
+		mail := g.add(mb, "mail")
+		g.leaf(mail, "from", g.id("person"))
+		g.leaf(mail, "to", g.id("person"))
+		g.leaf(mail, "date", "07/04/2000")
+		g.text(mail)
+	}
+}
+
+func (g *xmarkGen) description(parent *Node) {
+	d := g.add(parent, "description")
+	if g.rng.Intn(2) == 0 {
+		g.text(d)
+		return
+	}
+	pl := g.add(d, "parlist")
+	for i := g.rng.Intn(3) + 1; i > 0; i-- {
+		li := g.add(pl, "listitem")
+		g.text(li)
+	}
+}
+
+func (g *xmarkGen) text(parent *Node) {
+	tx := g.add(parent, "text")
+	for i := g.rng.Intn(2); i > 0; i-- {
+		g.leaf(tx, "keyword", "rare")
+	}
+	if tx.Children == nil {
+		tx.Text = "lorem ipsum auction text"
+	}
+}
+
+func (g *xmarkGen) category(parent *Node) {
+	c := g.add(parent, "category")
+	g.leaf(c, "name", g.id("category"))
+	g.description(c)
+}
+
+func (g *xmarkGen) edge(parent *Node) {
+	g.add(parent, "edge")
+}
+
+func (g *xmarkGen) person(parent *Node) {
+	p := g.add(parent, "person")
+	g.leaf(p, "name", g.id("person"))
+	g.leaf(p, "emailaddress", "mailto:someone@example.com")
+	if g.rng.Intn(2) == 0 {
+		g.leaf(p, "phone", "+1 (555) 555-0100")
+	}
+	if g.rng.Intn(2) == 0 {
+		addr := g.add(p, "address")
+		g.leaf(addr, "street", "35 McCrossin St")
+		g.leaf(addr, "city", "Durham")
+		g.leaf(addr, "country", "United States")
+		g.leaf(addr, "zipcode", "27708")
+	}
+	if g.rng.Intn(3) == 0 {
+		g.leaf(p, "homepage", "http://example.com/~person")
+	}
+	if g.rng.Intn(3) == 0 {
+		g.leaf(p, "creditcard", "9941 9701 2489 4716")
+	}
+	prof := g.add(p, "profile")
+	for i := g.rng.Intn(3); i > 0; i-- {
+		g.leaf(prof, "interest", g.id("category"))
+	}
+	g.leaf(prof, "business", "No")
+	if g.rng.Intn(2) == 0 {
+		g.leaf(prof, "age", "32")
+	}
+	w := g.add(p, "watches")
+	for i := g.rng.Intn(2); i > 0; i-- {
+		g.leaf(w, "watch", g.id("open_auction"))
+	}
+}
+
+func (g *xmarkGen) openAuction(parent *Node) {
+	a := g.add(parent, "open_auction")
+	g.leaf(a, "initial", "15.50")
+	for i := g.rng.Intn(4) + 1; i > 0; i-- {
+		b := g.add(a, "bidder")
+		g.leaf(b, "date", "07/04/2000")
+		g.leaf(b, "time", "18:21:21")
+		g.leaf(b, "personref", g.id("person"))
+		g.leaf(b, "increase", "4.50")
+	}
+	g.leaf(a, "current", "55.50")
+	g.leaf(a, "itemref", g.id("item"))
+	g.leaf(a, "seller", g.id("person"))
+	g.annotation(a)
+	g.leaf(a, "quantity", "1")
+	g.leaf(a, "type", "Regular")
+	iv := g.add(a, "interval")
+	g.leaf(iv, "start", "07/04/2000")
+	g.leaf(iv, "end", "08/04/2000")
+}
+
+func (g *xmarkGen) closedAuction(parent *Node) {
+	a := g.add(parent, "closed_auction")
+	g.leaf(a, "seller", g.id("person"))
+	g.leaf(a, "buyer", g.id("person"))
+	g.leaf(a, "itemref", g.id("item"))
+	g.leaf(a, "price", "55.50")
+	g.leaf(a, "date", "07/04/2000")
+	g.leaf(a, "quantity", "1")
+	g.leaf(a, "type", "Regular")
+	g.annotation(a)
+}
+
+func (g *xmarkGen) annotation(parent *Node) {
+	an := g.add(parent, "annotation")
+	g.leaf(an, "author", g.id("person"))
+	g.description(an)
+	g.leaf(an, "happiness", "7")
+}
