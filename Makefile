@@ -1,8 +1,15 @@
 GO ?= go
 
-.PHONY: all build test race bench experiments experiments-paper-scale clean
+.PHONY: all build test race bench check experiments experiments-paper-scale clean
 
 all: build test
+
+# Everything CI runs: vet, build, and the full test suite under the race
+# detector.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

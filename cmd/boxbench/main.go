@@ -16,9 +16,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"boxes/internal/bench"
+	"boxes/internal/obs"
 )
 
 func main() {
@@ -29,6 +31,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "XMark generator seed")
 		base      = flag.Int("base", 0, "override: base document elements")
 		inserts   = flag.Int("inserts", 0, "override: inserted elements")
+		metrics   = flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (\":0\" picks a port)")
+		linger    = flag.Bool("linger", false, "with -metrics: keep serving after the experiments until interrupted")
 	)
 	flag.Parse()
 
@@ -40,6 +44,17 @@ func main() {
 	}
 	if *inserts > 0 {
 		cfg.InsertElems = *inserts
+	}
+
+	if *metrics != "" {
+		cfg.Metrics = obs.NewRegistry()
+		ln, err := obs.Serve(*metrics, cfg.Metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "boxbench: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		fmt.Printf("metrics : http://%s/metrics (pprof under /debug/pprof/)\n", ln.Addr())
 	}
 
 	type experiment struct {
@@ -75,5 +90,11 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "boxbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if *metrics != "" && *linger {
+		fmt.Println("lingering: metrics endpoint stays up until interrupted")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
 	}
 }

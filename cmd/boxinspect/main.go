@@ -14,6 +14,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"boxes/internal/core"
 	"boxes/internal/order"
@@ -35,6 +36,7 @@ func (l *lidList) Set(s string) error {
 func main() {
 	var lids lidList
 	check := flag.Bool("check", true, "verify structural invariants")
+	metrics := flag.Bool("metrics", true, "print the store's metrics snapshot (per-phase I/O, check duration, structural counters)")
 	flag.Var(&lids, "lid", "resolve this LID to its current label (repeatable)")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -77,6 +79,22 @@ func main() {
 			parts = append(parts, fmt.Sprintf("%d=%d", lid, v))
 		}
 		fmt.Printf("labels  : %s\n", strings.Join(parts, " "))
+	}
+
+	if *metrics {
+		snap := st.Metrics()
+		fmt.Println("metrics :")
+		for _, name := range []string{"check", "lookup"} {
+			op, ok := snap.Ops[name]
+			if !ok || op.Count == 0 {
+				continue
+			}
+			fmt.Printf("  %-7s: %d ops, %d reads, %d writes, %v total\n",
+				name, op.Count, op.Reads.Sum, op.Writes.Sum, op.LatencyTotal().Round(time.Microsecond))
+		}
+		if ctrs := snap.FormatCounters(); ctrs != "" {
+			fmt.Printf("  events : %s\n", ctrs)
+		}
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"boxes/internal/core"
+	"boxes/internal/obs"
 	"boxes/internal/pager"
 	"boxes/internal/query"
 	"boxes/internal/xmlgen"
@@ -35,6 +36,7 @@ func main() {
 		pattern = flag.String("pattern", "", "branching pattern, e.g. //open_auction[//bidder/increase][/seller]")
 		check   = flag.Bool("check", true, "verify structural invariants after loading")
 		saveTo  = flag.String("save", "", "persist the labeling store to this file after loading")
+		metrics = flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (\":0\" picks a port)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -75,6 +77,15 @@ func main() {
 			fatal(err)
 		}
 		opts.Backend = fb
+	}
+	if *metrics != "" {
+		opts.Metrics = obs.NewRegistry()
+		ln, err := obs.Serve(*metrics, opts.Metrics)
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		fmt.Printf("metrics : http://%s/metrics (pprof under /debug/pprof/)\n", ln.Addr())
 	}
 	st, err := core.Open(opts)
 	if err != nil {

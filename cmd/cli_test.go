@@ -4,11 +4,16 @@
 package cmd_test
 
 import (
+	"bufio"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
+	"time"
 )
 
 var binDir string
@@ -89,5 +94,88 @@ func TestBenchCLISmoke(t *testing.T) {
 	}
 	if _, err := exec.Command(filepath.Join(binDir, "boxbench"), "-exp", "nonsense").Output(); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestBenchMetricsEndpoint runs boxbench with -metrics :0 -linger, scrapes
+// the advertised /metrics endpoint once the experiments finish, and checks
+// the Prometheus exposition carries per-op series and structural counters.
+func TestBenchMetricsEndpoint(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binDir, "boxbench"),
+		"-exp", "tquery", "-base", "300", "-inserts", "50",
+		"-metrics", "127.0.0.1:0", "-linger")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Signal(os.Interrupt)
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("boxbench did not exit cleanly on interrupt: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			t.Error("boxbench did not exit after interrupt")
+		}
+	}()
+
+	// The address line arrives first; "lingering" means the experiments have
+	// run and the registry is populated.
+	var addr string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "metrics : http://") {
+			addr = strings.TrimPrefix(strings.Fields(line)[2], "http://")
+			addr = strings.TrimSuffix(addr, "/metrics")
+		}
+		if strings.HasPrefix(line, "lingering") {
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no metrics address announced (scanner err: %v)", sc.Err())
+	}
+	go io.Copy(io.Discard, stdout)
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE boxes_op_duration_seconds histogram",
+		`boxes_op_reads_bucket{op="bulk_load",le="+Inf"}`,
+		`boxes_op_writes_sum{op="bulk_load"}`,
+		"wbox_splits_total",
+		"bbox_rebuilds_total",
+		"naive_relabels_total",
+		"reflog_cache_hits_total",
+		"pager_cache_misses_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// The query experiment bulk-loads one store per scheme, so the counter
+	// must be positive, not just present.
+	if ok, _ := regexp.MatchString(`boxes_ops_total\{op="bulk_load"\} [1-9]`, text); !ok {
+		t.Errorf("bulk_load op count not positive:\n%s", text)
 	}
 }

@@ -3,6 +3,7 @@ package bbox
 import (
 	"fmt"
 
+	"boxes/internal/obs"
 	"boxes/internal/order"
 	"boxes/internal/pager"
 )
@@ -242,6 +243,7 @@ func (l *Labeler) InsertSubtreeBefore(lidOld order.LID, tags []order.Tag) (_ []o
 // rebuildSplice rebuilds the whole tree with newLIDs inserted immediately
 // before lidOld.
 func (l *Labeler) rebuildSplice(lidOld order.LID, newLIDs []order.LID) error {
+	l.store.Observer().Inc(obs.CtrBBoxRebuilds)
 	all, err := l.collectLIDs(l.root, true)
 	if err != nil {
 		return err

@@ -3,6 +3,7 @@ package bbox
 import (
 	"fmt"
 
+	"boxes/internal/obs"
 	"boxes/internal/order"
 	"boxes/internal/pager"
 )
@@ -110,6 +111,7 @@ func (l *Labeler) splitAndPropagate(n *node) error {
 			break
 		}
 		m := (n.count() + 1) / 2
+		l.store.Observer().Inc(obs.CtrBBoxSplits)
 		v, err := l.allocNode(n.leaf, n.parent)
 		if err != nil {
 			return err
@@ -345,6 +347,7 @@ func (l *Labeler) fixUnderflow(n *node) error {
 			return err
 		}
 		if sib.count() > minOcc {
+			l.store.Observer().Inc(obs.CtrBBoxBorrows)
 			moved, err := l.moveItems(sib, n, sib.count()-1, 1, true)
 			if err != nil {
 				return err
@@ -371,6 +374,7 @@ func (l *Labeler) fixUnderflow(n *node) error {
 			return err
 		}
 		if sib.count() > minOcc {
+			l.store.Observer().Inc(obs.CtrBBoxBorrows)
 			moved, err := l.moveItems(sib, n, 0, 1, false)
 			if err != nil {
 				return err
@@ -392,6 +396,7 @@ func (l *Labeler) fixUnderflow(n *node) error {
 	}
 	// Merge with a sibling: move everything into the left node of the
 	// pair and drop the right one.
+	l.store.Observer().Inc(obs.CtrBBoxMerges)
 	var left, right *node
 	var rightIdx int
 	if i > 0 {

@@ -23,6 +23,7 @@ func RelaxedFanout(w io.Writer, cfg Config) error {
 	fmt.Fprintf(w, "%-10s %12s %12s\n", "min_fanout", "avg_io/op", "total_io")
 	for _, relaxed := range []bool{false, true} {
 		store := pager.NewMemStore(cfg.BlockSize)
+		cfg.attach("B-BOX", store)
 		p, err := bbox.NewParams(cfg.BlockSize, false, relaxed)
 		if err != nil {
 			return err
@@ -142,6 +143,7 @@ func BlockSizeSweep(w io.Writer, cfg Config) error {
 			if err != nil {
 				return err
 			}
+			cfg.attach(spec.Name, store)
 			rec := NewRecorder(store)
 			if err := Concentrated(l, rec, cfg.BaseElems, cfg.InsertElems); err != nil {
 				return err

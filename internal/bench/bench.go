@@ -12,6 +12,7 @@ import (
 
 	"boxes/internal/bbox"
 	"boxes/internal/naive"
+	"boxes/internal/obs"
 	"boxes/internal/order"
 	"boxes/internal/pager"
 	"boxes/internal/wbox"
@@ -28,6 +29,34 @@ type Config struct {
 	XMarkPrime  int   // insertions excluded from XMark measurements
 	Seed        int64 // XMark generator seed
 	NaiveKs     []int // naive-k variants to include
+
+	// Metrics, when non-nil, aggregates every scheme instance's
+	// measurements (structural counters, I/O histograms) across the whole
+	// run, so a benchmark process can expose one /metrics endpoint.
+	Metrics *obs.Registry
+}
+
+// attach routes a freshly created scheme store into the run's registry.
+func (c Config) attach(name string, store *pager.Store) {
+	if c.Metrics == nil {
+		return
+	}
+	store.SetObserver(c.Metrics)
+	c.Metrics.SetScheme(name)
+}
+
+// instrument brackets fn as one operation of kind op in the run's registry,
+// charging it the store's I/O delta. With no registry it just runs fn.
+func (c Config) instrument(scheme string, store *pager.Store, op obs.Op, fn func() error) error {
+	if c.Metrics == nil {
+		return fn()
+	}
+	st := store.Stats()
+	ctx := c.Metrics.Begin(scheme, op, st.Reads, st.Writes)
+	err := fn()
+	st = store.Stats()
+	c.Metrics.End(ctx, st.Reads, st.Writes, err)
+	return err
 }
 
 // Default returns the laptop-scale configuration (1/100 of the paper's).
@@ -134,6 +163,10 @@ type Recorder struct {
 	store *pager.Store
 	Skip  int // operations to exclude (the XMark priming prefix)
 
+	reg    *obs.Registry
+	scheme string
+	op     obs.Op
+
 	seen  int
 	costs []uint32
 	total uint64
@@ -142,20 +175,43 @@ type Recorder struct {
 // NewRecorder wraps store.
 func NewRecorder(store *pager.Store) *Recorder { return &Recorder{store: store} }
 
+// Observe additionally records every Do into reg as an operation of kind
+// op (typically OpInsert for the update workloads). Returns r for chaining.
+func (r *Recorder) Observe(reg *obs.Registry, scheme string, op obs.Op) *Recorder {
+	r.reg, r.scheme, r.op = reg, scheme, op
+	return r
+}
+
 // Do runs op and records its I/O cost (unless still in the skip prefix).
 func (r *Recorder) Do(op func() error) error {
 	before := r.store.Stats()
-	if err := op(); err != nil {
+	ctx := r.reg.Begin(r.scheme, r.op, before.Reads, before.Writes)
+	err := op()
+	after := r.store.Stats()
+	r.reg.End(ctx, after.Reads, after.Writes, err)
+	if err != nil {
 		return err
 	}
 	r.seen++
 	if r.seen <= r.Skip {
 		return nil
 	}
-	d := r.store.Stats().Sub(before).Total()
+	d := after.Sub(before).Total()
 	r.costs = append(r.costs, uint32(d))
 	r.total += d
 	return nil
+}
+
+// Bracket runs fn and records it into the registry as one operation of
+// kind op, without entering the workload's cost distribution. Used for the
+// setup phases (bulk loads) that the figures exclude.
+func (r *Recorder) Bracket(op obs.Op, fn func() error) error {
+	before := r.store.Stats()
+	ctx := r.reg.Begin(r.scheme, op, before.Reads, before.Writes)
+	err := fn()
+	after := r.store.Stats()
+	r.reg.End(ctx, after.Reads, after.Writes, err)
+	return err
 }
 
 // N reports the number of recorded operations.

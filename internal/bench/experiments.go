@@ -8,6 +8,7 @@ import (
 
 	"boxes/internal/bbox"
 	"boxes/internal/naive"
+	"boxes/internal/obs"
 	"boxes/internal/order"
 	"boxes/internal/reflog"
 	"boxes/internal/wbox"
@@ -124,8 +125,13 @@ func QueryCost(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		elems, err := l.BulkLoad(tags)
-		if err != nil {
+		cfg.attach(spec.Name, store)
+		var elems []order.ElemLIDs
+		if err := cfg.instrument(spec.Name, store, obs.OpBulkLoad, func() error {
+			var err error
+			elems, err = l.BulkLoad(tags)
+			return err
+		}); err != nil {
 			return fmt.Errorf("%s: %w", spec.Name, err)
 		}
 		rng := rand.New(rand.NewSource(cfg.Seed))
@@ -137,11 +143,14 @@ func QueryCost(w io.Writer, cfg Config) error {
 			if rng.Intn(2) == 0 {
 				lid = e.End
 			}
-			if nl, ok := l.(*naive.Labeler); ok {
-				if _, err := nl.LookupBig(lid); err != nil {
+			if err := cfg.instrument(spec.Name, store, obs.OpLookup, func() error {
+				if nl, ok := l.(*naive.Labeler); ok {
+					_, err := nl.LookupBig(lid)
 					return err
 				}
-			} else if _, err := l.Lookup(lid); err != nil {
+				_, err := l.Lookup(lid)
+				return err
+			}); err != nil {
 				return err
 			}
 		}
@@ -228,7 +237,8 @@ func BulkVsElement(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		rec := NewRecorder(store1)
+		cfg.attach(spec.Name, store1)
+		rec := NewRecorder(store1).Observe(cfg.Metrics, spec.Name, obs.OpInsert)
 		if err := Concentrated(l1, rec, cfg.BaseElems, cfg.InsertElems); err != nil {
 			return err
 		}
@@ -239,13 +249,21 @@ func BulkVsElement(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		elems, err := l2.BulkLoad(xmlgen.TwoLevel(cfg.BaseElems).TagStream())
-		if err != nil {
+		cfg.attach(spec.Name, store2)
+		var elems []order.ElemLIDs
+		if err := cfg.instrument(spec.Name, store2, obs.OpBulkLoad, func() error {
+			var err error
+			elems, err = l2.BulkLoad(xmlgen.TwoLevel(cfg.BaseElems).TagStream())
+			return err
+		}); err != nil {
 			return err
 		}
 		sub := xmlgen.TwoLevel(cfg.InsertElems).TagStream()
 		store2.ResetStats()
-		if _, err := l2.InsertSubtreeBefore(elems[0].End, sub); err != nil {
+		if err := cfg.instrument(spec.Name, store2, obs.OpSubtreeInsert, func() error {
+			_, err := l2.InsertSubtreeBefore(elems[0].End, sub)
+			return err
+		}); err != nil {
 			return err
 		}
 		bulkTotal := store2.Stats().Total()
@@ -313,13 +331,21 @@ func CachingLogging(w io.Writer, cfg Config) error {
 			if err != nil {
 				return err
 			}
-			elems, err := l.BulkLoad(tags)
-			if err != nil {
+			cfg.attach(spec.Name, store)
+			var elems []order.ElemLIDs
+			if err := cfg.instrument(spec.Name, store, obs.OpBulkLoad, func() error {
+				var err error
+				elems, err = l.BulkLoad(tags)
+				return err
+			}); err != nil {
 				return err
 			}
 			var cache *reflog.Cache
 			if m.k >= 0 {
 				cache = reflog.NewCache(l, reflog.NewLog(m.k))
+				if cfg.Metrics != nil {
+					cache.SetObserver(cfg.Metrics)
+				}
 			}
 			rng := rand.New(rand.NewSource(cfg.Seed))
 			// Build warm refs for a sample of labels.
@@ -363,11 +389,15 @@ func CachingLogging(w io.Writer, cfg Config) error {
 			store.ResetStats()
 			n := 0
 			for i := range refs {
-				if cache != nil {
-					if _, _, err := cache.Lookup(&refs[i]); err != nil {
+				ref := &refs[i]
+				if err := cfg.instrument(spec.Name, store, obs.OpLookup, func() error {
+					if cache != nil {
+						_, _, err := cache.Lookup(ref)
 						return err
 					}
-				} else if _, err := l.Lookup(refs[i].LID); err != nil {
+					_, err := l.Lookup(ref.LID)
+					return err
+				}); err != nil {
 					return err
 				}
 				n++

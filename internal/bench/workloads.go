@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"boxes/internal/obs"
 	"boxes/internal/order"
 	"boxes/internal/xmlgen"
 )
@@ -13,8 +14,12 @@ import (
 // into the centre of its growing child list — the adversarial pattern that
 // breaks gap-based schemes. Every element insertion is recorded.
 func Concentrated(l order.Labeler, rec *Recorder, baseElems, insertElems int) error {
-	elems, err := l.BulkLoad(xmlgen.TwoLevel(baseElems).TagStream())
-	if err != nil {
+	var elems []order.ElemLIDs
+	if err := rec.Bracket(obs.OpBulkLoad, func() error {
+		var err error
+		elems, err = l.BulkLoad(xmlgen.TwoLevel(baseElems).TagStream())
+		return err
+	}); err != nil {
 		return err
 	}
 	docRoot := elems[0]
@@ -57,8 +62,12 @@ func Concentrated(l order.Labeler, rec *Recorder, baseElems, insertElems int) er
 // document, with insertions spread evenly across all of its children (each
 // new element becomes a previous sibling of a distinct existing child).
 func Scattered(l order.Labeler, rec *Recorder, baseElems, insertElems int) error {
-	elems, err := l.BulkLoad(xmlgen.TwoLevel(baseElems).TagStream())
-	if err != nil {
+	var elems []order.ElemLIDs
+	if err := rec.Bracket(obs.OpBulkLoad, func() error {
+		var err error
+		elems, err = l.BulkLoad(xmlgen.TwoLevel(baseElems).TagStream())
+		return err
+	}); err != nil {
 		return err
 	}
 	children := elems[1:] // the root's children, in document order
@@ -119,7 +128,8 @@ func RunUpdateWorkload(cfg Config, specs []SchemeSpec, workload func(order.Label
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", spec.Name, err)
 		}
-		rec := NewRecorder(store)
+		cfg.attach(spec.Name, store)
+		rec := NewRecorder(store).Observe(cfg.Metrics, spec.Name, obs.OpInsert)
 		if err := workload(l, rec); err != nil {
 			return nil, fmt.Errorf("%s: %w", spec.Name, err)
 		}

@@ -10,6 +10,7 @@ import (
 
 	"boxes/internal/bbox"
 	"boxes/internal/naive"
+	"boxes/internal/obs"
 	"boxes/internal/order"
 	"boxes/internal/pager"
 	"boxes/internal/query"
@@ -88,14 +89,27 @@ type Options struct {
 
 	// Backend overrides the block store backend (default: in-memory).
 	Backend pager.Backend
+
+	// Metrics routes the store's measurements into an existing registry,
+	// so several stores (e.g. one per scheme in a benchmark) can share one
+	// exposition endpoint. When nil the store creates its own registry;
+	// metrics are always on — the no-hook fast path costs a few atomic
+	// adds and zero allocations per operation.
+	Metrics *obs.Registry
+
+	// TraceHooks are installed on the registry at Open time, receiving a
+	// structured event around every logical operation.
+	TraceHooks []obs.TraceHook
 }
 
 // Store is a dynamic order-based labeling service for one XML document.
 type Store struct {
-	opts    Options
-	store   *pager.Store
-	labeler order.Labeler
-	cache   *reflog.Cache
+	opts       Options
+	store      *pager.Store
+	labeler    order.Labeler
+	cache      *reflog.Cache
+	reg        *obs.Registry
+	schemeName string
 }
 
 // Open creates an empty Store.
@@ -110,7 +124,16 @@ func Open(opts Options) (*Store, error) {
 	if backend.BlockSize() != opts.BlockSize {
 		return nil, fmt.Errorf("core: backend block size %d != %d", backend.BlockSize(), opts.BlockSize)
 	}
-	var popts []pager.Option
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	for _, h := range opts.TraceHooks {
+		reg.AddHook(h)
+	}
+	reg.SetScheme(opts.Scheme.String())
+
+	popts := []pager.Option{pager.WithObserver(reg)}
 	if opts.CacheBlocks > 0 {
 		popts = append(popts, pager.WithCache(opts.CacheBlocks))
 	}
@@ -152,7 +175,7 @@ func Open(opts Options) (*Store, error) {
 		return nil, fmt.Errorf("core: unknown scheme %v", opts.Scheme)
 	}
 
-	s := &Store{opts: opts, store: store, labeler: labeler}
+	s := &Store{opts: opts, store: store, labeler: labeler, reg: reg, schemeName: opts.Scheme.String()}
 	if opts.Caching != CachingOff {
 		k := 0
 		if opts.Caching == CachingLogged {
@@ -162,6 +185,7 @@ func Open(opts Options) (*Store, error) {
 			}
 		}
 		s.cache = reflog.NewCache(labeler, reflog.NewLog(k))
+		s.cache.SetObserver(reg)
 	}
 	return s, nil
 }
@@ -187,7 +211,33 @@ func (s *Store) EnableOrdinalCache(logK int) (*reflog.Cache, error) {
 	if logK < 0 {
 		logK = 0
 	}
-	return reflog.NewOrdinalCache(s.labeler, reflog.NewLog(logK)), nil
+	c := reflog.NewOrdinalCache(s.labeler, reflog.NewLog(logK))
+	c.SetObserver(s.reg)
+	return c, nil
+}
+
+// MetricsRegistry returns the registry this store reports into (never
+// nil). Callers can expose it over HTTP with obs.Handler or install trace
+// hooks after the fact.
+func (s *Store) MetricsRegistry() *obs.Registry { return s.reg }
+
+// Metrics returns a point-in-time snapshot of every metric the store has
+// recorded: per-operation counts, latency and I/O-delta histograms, and
+// the structural counters.
+func (s *Store) Metrics() obs.Snapshot { return s.reg.Snapshot() }
+
+// begin opens a per-operation measurement against the store's registry,
+// snapshotting the pager's cumulative I/O counters.
+func (s *Store) begin(op obs.Op) obs.OpCtx {
+	st := s.store.Stats()
+	return s.reg.Begin(s.schemeName, op, st.Reads, st.Writes)
+}
+
+// end closes a measurement: the I/O accumulated since begin is the
+// operation's charge.
+func (s *Store) end(c obs.OpCtx, err error) {
+	st := s.store.Stats()
+	s.reg.End(c, st.Reads, st.Writes, err)
 }
 
 // Stats returns the block I/O counters accumulated so far.
@@ -207,11 +257,23 @@ func (s *Store) Height() int    { return s.labeler.Height() }
 func (s *Store) LabelBits() int { return s.labeler.LabelBits() }
 
 // Lookup returns the current label of lid.
-func (s *Store) Lookup(lid order.LID) (order.Label, error) { return s.labeler.Lookup(lid) }
+func (s *Store) Lookup(lid order.LID) (order.Label, error) {
+	c := s.begin(obs.OpLookup)
+	v, err := s.labeler.Lookup(lid)
+	s.end(c, err)
+	return v, err
+}
 
 // LookupSpan returns both labels of an element. On W-BOX-O this costs two
 // I/Os total (LIDF + one leaf); elsewhere it is two lookups.
 func (s *Store) LookupSpan(e order.ElemLIDs) (query.Span, error) {
+	c := s.begin(obs.OpLookup)
+	sp, err := s.lookupSpan(e)
+	s.end(c, err)
+	return sp, err
+}
+
+func (s *Store) lookupSpan(e order.ElemLIDs) (query.Span, error) {
 	if wl, ok := s.labeler.(*wbox.Labeler); ok {
 		st, en, err := wl.LookupPair(e.Start, e.End)
 		if err != nil {
@@ -241,35 +303,55 @@ func (s *Store) LookupSpan(e order.ElemLIDs) (query.Span, error) {
 // identified by lidOld (previous sibling if lidOld is a start label, last
 // child if it is an end label).
 func (s *Store) InsertElementBefore(lidOld order.LID) (order.ElemLIDs, error) {
-	return s.labeler.InsertElementBefore(lidOld)
+	c := s.begin(obs.OpInsert)
+	e, err := s.labeler.InsertElementBefore(lidOld)
+	s.end(c, err)
+	return e, err
 }
 
 // InsertFirstElement bootstraps an empty document.
 func (s *Store) InsertFirstElement() (order.ElemLIDs, error) {
-	return s.labeler.InsertFirstElement()
+	c := s.begin(obs.OpInsert)
+	e, err := s.labeler.InsertFirstElement()
+	s.end(c, err)
+	return e, err
 }
 
 // Delete removes one label.
-func (s *Store) Delete(lid order.LID) error { return s.labeler.Delete(lid) }
+func (s *Store) Delete(lid order.LID) error {
+	c := s.begin(obs.OpDelete)
+	err := s.labeler.Delete(lid)
+	s.end(c, err)
+	return err
+}
 
 // DeleteElement removes both labels of an element (its children become
 // children of its parent).
 func (s *Store) DeleteElement(e order.ElemLIDs) error {
-	if err := s.labeler.Delete(e.Start); err != nil {
-		return err
+	c := s.begin(obs.OpDelete)
+	err := s.labeler.Delete(e.Start)
+	if err == nil {
+		err = s.labeler.Delete(e.End)
 	}
-	return s.labeler.Delete(e.End)
+	s.end(c, err)
+	return err
 }
 
 // DeleteSubtree removes an element and all its descendants.
 func (s *Store) DeleteSubtree(e order.ElemLIDs) error {
-	return s.labeler.DeleteSubtree(e.Start, e.End)
+	c := s.begin(obs.OpSubtreeDelete)
+	err := s.labeler.DeleteSubtree(e.Start, e.End)
+	s.end(c, err)
+	return err
 }
 
 // InsertSubtreeBefore bulk-inserts a whole XML subtree immediately before
 // the tag identified by lidOld.
 func (s *Store) InsertSubtreeBefore(lidOld order.LID, tree *xmlgen.Tree) ([]order.ElemLIDs, error) {
-	return s.labeler.InsertSubtreeBefore(lidOld, tree.TagStream())
+	c := s.begin(obs.OpSubtreeInsert)
+	elems, err := s.labeler.InsertSubtreeBefore(lidOld, tree.TagStream())
+	s.end(c, err)
+	return elems, err
 }
 
 // Compare orders two tags by document position, returning -1, 0 or +1.
@@ -277,6 +359,13 @@ func (s *Store) InsertSubtreeBefore(lidOld order.LID, tree *xmlgen.Tree) ([]orde
 // which costs fewer I/Os than two lookups when the tags are close; on the
 // other schemes it compares the two label values.
 func (s *Store) Compare(a, b order.LID) (int, error) {
+	c := s.begin(obs.OpLookup)
+	v, err := s.compare(a, b)
+	s.end(c, err)
+	return v, err
+}
+
+func (s *Store) compare(a, b order.LID) (int, error) {
 	if bl, ok := s.labeler.(*bbox.Labeler); ok {
 		return bl.CompareLIDs(a, b)
 	}
@@ -301,11 +390,19 @@ func (s *Store) Compare(a, b order.LID) (int, error) {
 // OrdinalLookup returns the exact document position of a tag (requires
 // Ordinal support).
 func (s *Store) OrdinalLookup(lid order.LID) (uint64, error) {
-	return s.labeler.OrdinalLookup(lid)
+	c := s.begin(obs.OpLookup)
+	v, err := s.labeler.OrdinalLookup(lid)
+	s.end(c, err)
+	return v, err
 }
 
 // CheckInvariants validates the structure (used by tests and boxload).
-func (s *Store) CheckInvariants() error { return s.labeler.CheckInvariants() }
+func (s *Store) CheckInvariants() error {
+	c := s.begin(obs.OpCheck)
+	err := s.labeler.CheckInvariants()
+	s.end(c, err)
+	return err
+}
 
 // Document couples a Store with the per-element LIDs of a loaded tree,
 // giving name-aware access for query processing.
@@ -320,7 +417,9 @@ func (s *Store) Load(tree *xmlgen.Tree) (*Document, error) {
 	if tree == nil || tree.Root == nil {
 		return nil, errors.New("core: empty tree")
 	}
+	c := s.begin(obs.OpBulkLoad)
 	elems, err := s.labeler.BulkLoad(tree.TagStream())
+	s.end(c, err)
 	if err != nil {
 		return nil, err
 	}

@@ -127,6 +127,8 @@ func OpenExisting(backend pager.Backend, runtime Options) (*Store, error) {
 		LogK:          runtime.LogK,
 		CacheBlocks:   runtime.CacheBlocks,
 		Backend:       backend,
+		Metrics:       runtime.Metrics,
+		TraceHooks:    runtime.TraceHooks,
 	}
 	st, err := Open(opts)
 	if err != nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"boxes/internal/obs"
 	"boxes/internal/order"
 	"boxes/internal/pager"
 	"boxes/internal/query"
@@ -39,6 +40,13 @@ func (s *SyncStore) Stats() pager.IOStats {
 	defer s.mu.Unlock()
 	return s.st.Stats()
 }
+
+// MetricsRegistry returns the underlying store's registry. The registry's
+// own methods are concurrency-safe, so no lock is needed.
+func (s *SyncStore) MetricsRegistry() *obs.Registry { return s.st.MetricsRegistry() }
+
+// Metrics snapshots the underlying store's metrics.
+func (s *SyncStore) Metrics() obs.Snapshot { return s.st.MetricsRegistry().Snapshot() }
 
 func (s *SyncStore) ResetStats() {
 	s.mu.Lock()

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 
+	"boxes/internal/obs"
 	"boxes/internal/order"
 	"boxes/internal/pager"
 )
@@ -109,6 +110,7 @@ func (f *File) Alloc() (order.LID, error) {
 			return order.NilLID, err
 		}
 		f.count++
+		f.store.Observer().Inc(obs.CtrLIDFAllocs)
 		return lid, nil
 	}
 	lid = f.next
@@ -135,6 +137,7 @@ func (f *File) Alloc() (order.LID, error) {
 	}
 	f.next++
 	f.count++
+	f.store.Observer().Inc(obs.CtrLIDFAllocs)
 	return lid, nil
 }
 
@@ -239,6 +242,7 @@ func (f *File) Free(lid order.LID) error {
 	}
 	f.freeHead = lid
 	f.count--
+	f.store.Observer().Inc(obs.CtrLIDFFrees)
 	return nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"math/big"
 
 	"boxes/internal/lidf"
+	"boxes/internal/obs"
 	"boxes/internal/order"
 	"boxes/internal/pager"
 )
@@ -211,6 +212,7 @@ func encodeShifted(buf []byte, v uint64, k int) {
 // record, and this loop dominates the naive scheme's running time.
 func (l *Labeler) relabelAll() error {
 	l.relabels++
+	l.store.Observer().Inc(obs.CtrNaiveRelabels)
 	if uint64(len(l.dir)) > (uint64(1) << uint(l.cfg.CapacityBits)) {
 		return order.ErrLabelOverflow
 	}

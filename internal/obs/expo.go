@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// HistSnapshot is a point-in-time copy of one histogram. Counts[i] holds
+// observations <= Bounds[i]; Counts[len(Bounds)] is the overflow bucket.
+type HistSnapshot struct {
+	Bounds []uint64
+	Counts []uint64
+	Sum    uint64
+}
+
+// Total returns the number of observations.
+func (h HistSnapshot) Total() uint64 {
+	var t uint64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// OpSnapshot is a point-in-time copy of one per-operation series.
+type OpSnapshot struct {
+	Op      string
+	Count   uint64
+	Errors  uint64
+	Latency HistSnapshot // nanoseconds
+	Reads   HistSnapshot // block reads per op
+	Writes  HistSnapshot // block writes per op
+}
+
+// LatencyTotal returns the cumulative wall time of the series.
+func (o OpSnapshot) LatencyTotal() time.Duration { return time.Duration(o.Latency.Sum) }
+
+// Snapshot is a consistent-enough (per-counter atomic) copy of a
+// registry's state, the programmatic form of the /metrics exposition.
+type Snapshot struct {
+	Schemes  []string
+	Ops      map[string]OpSnapshot
+	Counters map[string]uint64
+}
+
+func snapHist(h *hist) HistSnapshot {
+	n := len(h.bounds) + 1
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, n),
+		Sum:    h.sum.Load(),
+	}
+	for i := 0; i < n; i++ {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Ops:      make(map[string]OpSnapshot, numOps),
+		Counters: make(map[string]uint64, numCounters),
+	}
+	if r == nil {
+		return s
+	}
+	s.Schemes = r.Schemes()
+	for op := Op(0); op < numOps; op++ {
+		series := &r.ops[op]
+		s.Ops[op.String()] = OpSnapshot{
+			Op:      op.String(),
+			Count:   series.count.Load(),
+			Errors:  series.errors.Load(),
+			Latency: snapHist(&series.latency),
+			Reads:   snapHist(&series.reads),
+			Writes:  snapHist(&series.writes),
+		}
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		s.Counters[c.String()] = r.counters[c].Load()
+	}
+	return s
+}
+
+// countingWriter tracks bytes written for the io.WriterTo contract.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (cw *countingWriter) printf(format string, args ...any) {
+	if cw.err != nil {
+		return
+	}
+	n, err := fmt.Fprintf(cw.w, format, args...)
+	cw.n += int64(n)
+	cw.err = err
+}
+
+// secs renders a nanosecond quantity as seconds for Prometheus.
+func secs(ns uint64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// writeOpHist emits one histogram family with an op label. unit selects
+// bound rendering: "s" converts nanosecond bounds to seconds.
+func writeOpHist(cw *countingWriter, name, help, unit string, sel func(*opSeries) *hist, r *Registry) {
+	cw.printf("# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for op := Op(0); op < numOps; op++ {
+		h := sel(&r.ops[op])
+		var cum uint64
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			le := strconv.FormatUint(b, 10)
+			if unit == "s" {
+				le = secs(b)
+			}
+			cw.printf("%s_bucket{op=%q,le=%q} %d\n", name, op, le, cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		cw.printf("%s_bucket{op=%q,le=\"+Inf\"} %d\n", name, op, cum)
+		if unit == "s" {
+			cw.printf("%s_sum{op=%q} %s\n", name, op, secs(h.sum.Load()))
+		} else {
+			cw.printf("%s_sum{op=%q} %d\n", name, op, h.sum.Load())
+		}
+		cw.printf("%s_count{op=%q} %d\n", name, op, cum)
+	}
+}
+
+// WriteTo writes the registry's state in the Prometheus text exposition
+// format (version 0.0.4). It implements io.WriterTo.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	if r == nil {
+		return 0, nil
+	}
+
+	cw.printf("# HELP boxes_store_info Labeling schemes reporting into this registry.\n# TYPE boxes_store_info gauge\n")
+	for _, s := range r.Schemes() {
+		cw.printf("boxes_store_info{scheme=%q} 1\n", s)
+	}
+
+	cw.printf("# HELP boxes_ops_total Operations executed, by operation kind.\n# TYPE boxes_ops_total counter\n")
+	for op := Op(0); op < numOps; op++ {
+		cw.printf("boxes_ops_total{op=%q} %d\n", op, r.ops[op].count.Load())
+	}
+	cw.printf("# HELP boxes_op_errors_total Operations that returned an error, by operation kind.\n# TYPE boxes_op_errors_total counter\n")
+	for op := Op(0); op < numOps; op++ {
+		cw.printf("boxes_op_errors_total{op=%q} %d\n", op, r.ops[op].errors.Load())
+	}
+
+	writeOpHist(cw, "boxes_op_duration_seconds", "Wall time per operation.", "s",
+		func(s *opSeries) *hist { return &s.latency }, r)
+	writeOpHist(cw, "boxes_op_reads", "Block reads charged per operation.", "",
+		func(s *opSeries) *hist { return &s.reads }, r)
+	writeOpHist(cw, "boxes_op_writes", "Block writes charged per operation.", "",
+		func(s *opSeries) *hist { return &s.writes }, r)
+
+	for c := Counter(0); c < numCounters; c++ {
+		name := c.String()
+		cw.printf("# TYPE %s counter\n%s %d\n", name, name, r.counters[c].Load())
+	}
+	return cw.n, cw.err
+}
+
+// String renders the registry in Prometheus text format (for debugging).
+func (r *Registry) String() string {
+	var b strings.Builder
+	r.WriteTo(&b)
+	return b.String()
+}
+
+// FormatCounters renders the non-zero structural counters of a snapshot as
+// "name=value" pairs sorted by name — the compact form the CLIs print.
+func (s Snapshot) FormatCounters() string {
+	names := make([]string, 0, len(s.Counters))
+	for name, v := range s.Counters {
+		if v != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = fmt.Sprintf("%s=%d", name, s.Counters[name])
+	}
+	return strings.Join(parts, " ")
+}
+
+var _ io.WriterTo = (*Registry)(nil)

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler exposing the registry at /metrics in
+// Prometheus text format, plus the standard net/http/pprof profiling
+// endpoints under /debug/pprof/.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteTo(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts serving Handler(r) on addr (":0" picks a free port) in a
+// background goroutine and returns the listener, whose Addr reports the
+// bound address. Close the listener to stop serving.
+func Serve(addr string, r *Registry) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go srv.Serve(ln)
+	return ln, nil
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeMetricsAndPprof(t *testing.T) {
+	r := NewRegistry()
+	r.SetScheme("B-BOX")
+	r.Inc(CtrBBoxSplits)
+	ln, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get("http://" + ln.Addr().String() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+	}
+
+	code, ct, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{`boxes_store_info{scheme="B-BOX"} 1`, "bbox_splits_total 1"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, _, body = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "profile") {
+		t.Errorf("/debug/pprof/ status=%d", code)
+	}
+}

@@ -3,6 +3,7 @@ package pager
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrInjected is the error returned by a FlakyBackend once its budget is
@@ -14,13 +15,20 @@ var ErrInjected = errors.New("pager: injected I/O failure")
 // injection in tests: structures built on the pager must surface the error
 // cleanly instead of panicking or silently corrupting their in-memory
 // bookkeeping.
+//
+// A FlakyBackend is safe for concurrent use (to the extent the wrapped
+// backend is): its counters are mutex-guarded, and a Store layered on top
+// additionally counts each injected failure in its error metrics
+// (pager_injected_failures_total), so fault-injection runs are observable.
 type FlakyBackend struct {
 	Inner Backend
 	// Budget is the number of ReadBlock/WriteBlock/Allocate/Free calls
 	// that succeed before every further call fails.
 	Budget int
 
-	ops int
+	mu       sync.Mutex
+	ops      int
+	injected int
 }
 
 // NewFlakyBackend wraps inner with an operation budget.
@@ -29,11 +37,25 @@ func NewFlakyBackend(inner Backend, budget int) *FlakyBackend {
 }
 
 // Ops reports the number of operations attempted so far.
-func (f *FlakyBackend) Ops() int { return f.ops }
+func (f *FlakyBackend) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Injected reports the number of failures injected so far.
+func (f *FlakyBackend) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
 
 func (f *FlakyBackend) charge(op string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.ops++
 	if f.ops > f.Budget {
+		f.injected++
 		return fmt.Errorf("%w (%s after %d ops)", ErrInjected, op, f.Budget)
 	}
 	return nil

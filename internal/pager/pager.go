@@ -22,7 +22,10 @@ package pager
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+
+	"boxes/internal/obs"
 )
 
 // BlockID identifies a block within a Store. The zero value is reserved and
@@ -94,6 +97,7 @@ type Store struct {
 	backend Backend
 	stats   IOStats
 	cache   *lruCache
+	obs     *obs.Registry // optional; nil-safe via obs method receivers
 	op      map[BlockID]*opBlock
 	opDepth int
 	closed  bool
@@ -113,6 +117,14 @@ func WithCache(capacity int) Option {
 			s.cache = nil
 		}
 	}
+}
+
+// WithObserver attaches a metrics registry: the store reports LRU cache
+// hits/misses and backend I/O errors into it, and every structure layered
+// on the store (LIDF, the BOXes) reaches the same registry through
+// Observer.
+func WithObserver(r *obs.Registry) Option {
+	return func(s *Store) { s.obs = r }
 }
 
 // NewStore creates a Store over backend.
@@ -142,6 +154,23 @@ func (s *Store) Backend() Backend { return s.backend }
 
 // NumBlocks reports how many blocks are currently allocated in the backend.
 func (s *Store) NumBlocks() uint64 { return s.backend.NumBlocks() }
+
+// SetObserver attaches (or, with nil, detaches) a metrics registry after
+// construction. See WithObserver.
+func (s *Store) SetObserver(r *obs.Registry) { s.obs = r }
+
+// Observer returns the attached metrics registry, or nil. The result is
+// safe to use directly: obs.Registry methods are nil-receiver-safe.
+func (s *Store) Observer() *obs.Registry { return s.obs }
+
+// countIOError records a backend I/O failure, distinguishing injected
+// faults so fault-injection runs are observable.
+func (s *Store) countIOError(err error) {
+	s.obs.Inc(obs.CtrPagerIOErrors)
+	if errors.Is(err, ErrInjected) {
+		s.obs.Inc(obs.CtrPagerInjectedFailures)
+	}
+}
 
 // Stats returns a snapshot of the I/O counters.
 func (s *Store) Stats() IOStats {
@@ -190,20 +219,37 @@ func (s *Store) EndOp() error {
 	if s.opDepth > 0 {
 		return nil
 	}
+	// Flush in ascending BlockID order (Go map iteration is randomized)
+	// so write traces and injected-failure tests are deterministic and
+	// replayable.
+	dirty := 0
+	for _, ob := range s.op {
+		if !ob.freed && ob.dirty {
+			dirty++
+		}
+	}
 	var firstErr error
-	for id, ob := range s.op {
-		if ob.freed || !ob.dirty {
-			continue
-		}
-		if err := s.backend.WriteBlock(id, ob.data); err != nil {
-			if firstErr == nil {
-				firstErr = err
+	if dirty > 0 {
+		ids := make([]BlockID, 0, dirty)
+		for id, ob := range s.op {
+			if !ob.freed && ob.dirty {
+				ids = append(ids, id)
 			}
-			continue
 		}
-		s.countWrite()
-		if s.cache != nil {
-			s.cache.put(id, ob.data)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			ob := s.op[id]
+			if err := s.backend.WriteBlock(id, ob.data); err != nil {
+				s.countIOError(err)
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			s.countWrite()
+			if s.cache != nil {
+				s.cache.put(id, ob.data)
+			}
 		}
 	}
 	s.op = nil
@@ -237,6 +283,7 @@ func (s *Store) Allocate() (BlockID, error) {
 	}
 	id, err := s.backend.Allocate()
 	if err != nil {
+		s.countIOError(err)
 		return NilBlock, err
 	}
 	if s.opDepth > 0 {
@@ -265,7 +312,11 @@ func (s *Store) Free(id BlockID) error {
 	if s.cache != nil {
 		s.cache.drop(id)
 	}
-	return s.backend.Free(id)
+	if err := s.backend.Free(id); err != nil {
+		s.countIOError(err)
+		return err
+	}
+	return nil
 }
 
 // Read returns the contents of a block. Inside an operation the returned
@@ -290,6 +341,7 @@ func (s *Store) Read(id BlockID) ([]byte, error) {
 	buf := make([]byte, s.backend.BlockSize())
 	if s.cache != nil {
 		if data, ok := s.cache.get(id); ok {
+			s.obs.Inc(obs.CtrPagerCacheHits)
 			copy(buf, data)
 			if s.opDepth > 0 {
 				ob := &opBlock{data: buf}
@@ -297,8 +349,10 @@ func (s *Store) Read(id BlockID) ([]byte, error) {
 			}
 			return buf, nil
 		}
+		s.obs.Inc(obs.CtrPagerCacheMisses)
 	}
 	if err := s.backend.ReadBlock(id, buf); err != nil {
+		s.countIOError(err)
 		return nil, err
 	}
 	s.countRead()
@@ -340,6 +394,7 @@ func (s *Store) Write(id BlockID, buf []byte) error {
 		return nil
 	}
 	if err := s.backend.WriteBlock(id, buf); err != nil {
+		s.countIOError(err)
 		return err
 	}
 	s.countWrite()

@@ -12,6 +12,7 @@
 package reflog
 
 import (
+	"boxes/internal/obs"
 	"boxes/internal/order"
 )
 
@@ -33,7 +34,11 @@ type Log struct {
 	lastMod uint64
 	entries []Entry // FIFO, oldest first
 	dropped bool    // an entry has been evicted from the FIFO
+	obs     *obs.Registry
 }
+
+// SetObserver routes the log's metrics (invalidation sweeps) to r.
+func (g *Log) SetObserver(r *obs.Registry) { g.obs = r }
 
 // NewLog creates a modification log keeping the last k entries (k == 0 is
 // the basic-caching mode). Logical time starts at 1 so that a timestamp of
@@ -94,6 +99,7 @@ func (g *Log) LogShift(lo, hi order.Label, delta int64) {
 
 // LogInvalidate implements order.UpdateLogger.
 func (g *Log) LogInvalidate(lo, hi order.Label) {
+	g.obs.Inc(obs.CtrReflogInvalidations)
 	g.push(Entry{Lo: lo, Hi: hi, Invalidate: true})
 }
 
@@ -124,11 +130,19 @@ const (
 type Cache struct {
 	fetch func(order.LID) (order.Label, error)
 	log   *Log
+	obs   *obs.Registry
 
 	// Stats.
 	Fresh    uint64
 	Replayed uint64
 	Misses   uint64
+}
+
+// SetObserver routes the cache's metrics (hits, repairs, misses) — and its
+// log's — to r.
+func (c *Cache) SetObserver(r *obs.Registry) {
+	c.obs = r
+	c.log.SetObserver(r)
 }
 
 // NewCache wires a labeler and a log together: the log is attached as the
@@ -169,6 +183,7 @@ func (c *Cache) NewRef(lid order.LID) (Ref, error) {
 func (c *Cache) Lookup(ref *Ref) (order.Label, Outcome, error) {
 	if ref.LastCached > 0 && ref.LastCached >= c.log.LastModified() {
 		c.Fresh++
+		c.obs.Inc(obs.CtrReflogHits)
 		return ref.Cached, HitFresh, nil
 	}
 	if ref.LastCached > 0 && c.log.replayableFrom(ref.LastCached) {
@@ -192,6 +207,7 @@ func (c *Cache) Lookup(ref *Ref) (order.Label, Outcome, error) {
 			ref.Cached = v
 			ref.LastCached = c.log.Now()
 			c.Replayed++
+			c.obs.Inc(obs.CtrReflogRepairs)
 			return v, HitReplayed, nil
 		}
 	}
@@ -202,6 +218,7 @@ func (c *Cache) Lookup(ref *Ref) (order.Label, Outcome, error) {
 	ref.Cached = v
 	ref.LastCached = c.log.Now()
 	c.Misses++
+	c.obs.Inc(obs.CtrReflogMisses)
 	return v, Miss, nil
 }
 

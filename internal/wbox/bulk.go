@@ -3,6 +3,7 @@ package wbox
 import (
 	"fmt"
 
+	"boxes/internal/obs"
 	"boxes/internal/order"
 	"boxes/internal/pager"
 )
@@ -317,6 +318,7 @@ func (l *Labeler) rebuildAll() error {
 	if l.root == pager.NilBlock {
 		return nil
 	}
+	l.store.Observer().Inc(obs.CtrWBoxRebuilds)
 	leaves, err := l.collectLeaves(l.root, true)
 	if err != nil {
 		return err

@@ -3,6 +3,7 @@ package wbox
 import (
 	"fmt"
 
+	"boxes/internal/obs"
 	"boxes/internal/order"
 	"boxes/internal/pager"
 )
@@ -250,6 +251,7 @@ func (l *Labeler) freeSubtree(blk pager.BlockID) (remW, remS uint64, err error) 
 // leaves, repacking only leaves that underflow (so LIDF updates stay
 // bounded by the damage).
 func (l *Labeler) rebuildFromLeafRuns() error {
+	l.store.Observer().Inc(obs.CtrWBoxRebuilds)
 	leaves, err := l.collectLeaves(l.root, true)
 	if err != nil {
 		return err

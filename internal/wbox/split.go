@@ -3,6 +3,7 @@ package wbox
 import (
 	"fmt"
 
+	"boxes/internal/obs"
 	"boxes/internal/order"
 	"boxes/internal/pager"
 )
@@ -130,6 +131,7 @@ func (l *Labeler) insertOne(newLID, lidOld order.LID, rec record) error {
 // insertReclaim consumes the tombstone at index t to make room for rec
 // immediately before the record currently at index j. No weight changes.
 func (l *Labeler) insertReclaim(newLID order.LID, rec record, leaf *node, j, t int) error {
+	l.store.Observer().Inc(obs.CtrWBoxReclaims)
 	var shiftLo, shiftHi uint64
 	var shiftDelta int64
 	var insertAt int
@@ -226,6 +228,7 @@ func (l *Labeler) applyEndFixes(fixes []endFix, hint *node) error {
 // splitNode splits path[vIdx], which is at (or about to exceed) its weight
 // limit. path[0] is the root.
 func (l *Labeler) splitNode(path []*node, taken []int, vIdx int) error {
+	l.store.Observer().Inc(obs.CtrWBoxSplits)
 	u := path[vIdx]
 	level := int(u.level)
 
@@ -336,6 +339,7 @@ func (l *Labeler) splitNode(path []*node, taken []int, vIdx int) error {
 		if err := l.writeNode(v); err != nil {
 			return err
 		}
+		l.store.Observer().Inc(obs.CtrWBoxRelabels)
 		var fixes []endFix
 		if err := l.relabelSubtree(p, p.lo, &fixes); err != nil {
 			return err
@@ -353,6 +357,7 @@ func (l *Labeler) splitNode(path []*node, taken []int, vIdx int) error {
 	// entries keep their range; in the left-placement leaf case the kept
 	// records shifted within u and moveHead repaired them).
 	if !u.isLeaf() {
+		l.store.Observer().Inc(obs.CtrWBoxRelabels)
 		var fixes []endFix
 		if err := l.relabelSubtree(v, v.lo, &fixes); err != nil {
 			return err
