@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build test race bench check experiments experiments-paper-scale clean
+# Workload for the machine-readable bench snapshots and the committed
+# baselines under results/. The numbers must stay in sync with the
+# baselines: benchdiff refuses to compare snapshots with different
+# parameters.
+BENCH_FLAGS := -base 2000 -inserts 500 -xmark 1000 -xprime 200
+
+.PHONY: all build test race bench bench-diff bench-baseline microbench check experiments experiments-paper-scale clean
 
 all: build test
 
@@ -21,7 +27,28 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Machine-readable snapshots: BENCH_<experiment>.json in the working
+# directory, one per update experiment (ops, I/Os per op, latency
+# percentiles, final structural gauges per scheme).
 bench:
+	$(GO) run ./cmd/boxbench -exp snap $(BENCH_FLAGS) -json .
+
+# Fresh snapshots compared against the committed baselines; fails when any
+# scheme's I/O cost regressed by more than 25%.
+bench-diff: bench
+	$(GO) run ./cmd/benchdiff -threshold 0.25 results/baseline.json BENCH_concentrated.json
+	$(GO) run ./cmd/benchdiff -threshold 0.25 results/baseline-scattered.json BENCH_scattered.json
+	$(GO) run ./cmd/benchdiff -threshold 0.25 results/baseline-xmark.json BENCH_xmark.json
+
+# Regenerate the committed baselines after an intentional performance
+# change (review the diff before committing).
+bench-baseline:
+	$(GO) run ./cmd/boxbench -exp snap $(BENCH_FLAGS) -json results
+	mv results/BENCH_concentrated.json results/baseline.json
+	mv results/BENCH_scattered.json results/baseline-scattered.json
+	mv results/BENCH_xmark.json results/baseline-xmark.json
+
+microbench:
 	$(GO) test -bench=. -benchmem .
 
 # Regenerate every figure and table of the paper at laptop scale (~1 min).

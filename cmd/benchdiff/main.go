@@ -1,0 +1,62 @@
+// Command benchdiff compares two BENCH_*.json snapshots written by
+// boxbench -exp snap and fails when the current run regressed past a
+// threshold. By default only the deterministic I/O metrics are compared
+// (avg/p99/max/total I/Os per op — which in the paper's cost model *is*
+// throughput), so a committed baseline stays valid on any machine; -wall
+// adds the wall-clock columns for same-hardware comparisons.
+//
+// Usage:
+//
+//	benchdiff results/baseline.json BENCH_concentrated.json
+//	benchdiff -threshold 0.10 -wall old.json new.json
+//
+// Exit status: 0 when no metric regressed, 1 when at least one did, 2 on
+// unreadable files or incomparable snapshots (different experiments or
+// workload parameters).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"boxes/internal/bench"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.25, "relative regression tolerance (0.25 = fail when 25% worse)")
+	wall := flag.Bool("wall", false, "also compare wall-clock metrics (ops/sec, p99 latency); same-machine snapshots only")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] <baseline.json> <current.json>")
+		os.Exit(2)
+	}
+
+	baseline, err := bench.ReadSnapshotFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	current, err := bench.ReadSnapshotFile(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	regs, err := bench.Diff(baseline, current, *threshold, *wall)
+	if err != nil {
+		fatal(err)
+	}
+	if len(regs) == 0 {
+		fmt.Printf("benchdiff: %s: no regressions beyond %.0f%% (%d schemes compared)\n",
+			current.Experiment, *threshold*100, len(current.Schemes))
+		return
+	}
+	fmt.Printf("benchdiff: %s: %d regression(s) beyond %.0f%%:\n", current.Experiment, len(regs), *threshold*100)
+	for _, r := range regs {
+		fmt.Printf("  %s\n", r)
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(2)
+}

@@ -7,7 +7,9 @@
 //	boxbench -exp fig5            # one experiment
 //	boxbench -exp all -scale 10   # everything, at 10x the default size
 //
-// Experiments: fig5 fig6 fig7 fig8 fig9 tquery tbulk tbits tcache all.
+// Experiments: fig5 fig6 fig7 fig8 fig9 tquery tbulk tbits tcache all,
+// plus snap, which writes machine-readable BENCH_<experiment>.json
+// snapshots (see -json) for benchdiff to compare against a baseline.
 // The paper's own sizes correspond to -scale 100.
 package main
 
@@ -25,12 +27,15 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment id: fig5 fig6 fig7 fig8 fig9 tquery tbulk tbits tcache tfan tblock all")
+		exp       = flag.String("exp", "all", "experiment id: fig5 fig6 fig7 fig8 fig9 tquery tbulk tbits tcache tfan tblock snap all")
+		jsonDir   = flag.String("json", ".", "directory BENCH_*.json snapshots are written to by -exp snap")
 		scale     = flag.Int("scale", 1, "workload scale factor (100 = the paper's sizes)")
 		blockSize = flag.Int("block", 8192, "block size in bytes")
 		seed      = flag.Int64("seed", 1, "XMark generator seed")
 		base      = flag.Int("base", 0, "override: base document elements")
 		inserts   = flag.Int("inserts", 0, "override: inserted elements")
+		xmark     = flag.Int("xmark", 0, "override: XMark document elements")
+		xprime    = flag.Int("xprime", 0, "override: XMark priming prefix excluded from measurement")
 		metrics   = flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (\":0\" picks a port)")
 		linger    = flag.Bool("linger", false, "with -metrics: keep serving after the experiments until interrupted")
 	)
@@ -44,6 +49,15 @@ func main() {
 	}
 	if *inserts > 0 {
 		cfg.InsertElems = *inserts
+	}
+	if *xmark > 0 {
+		// A shrunk document also drops the default priming prefix, which
+		// could otherwise exceed the whole workload; set -xprime to restore.
+		cfg.XMarkElems = *xmark
+		cfg.XMarkPrime = 0
+	}
+	if *xprime > 0 {
+		cfg.XMarkPrime = *xprime
 	}
 
 	if *metrics != "" {
@@ -73,10 +87,21 @@ func main() {
 		{"tcache", bench.CachingLogging},
 		{"tfan", bench.RelaxedFanout},
 		{"tblock", bench.BlockSizeSweep},
+		{"snap", func(w io.Writer, cfg bench.Config) error {
+			paths, err := bench.WriteBenchSnapshots(*jsonDir, cfg)
+			for _, p := range paths {
+				fmt.Fprintf(w, "wrote   : %s\n", p)
+			}
+			return err
+		}},
 	}
 	ran := false
 	for _, e := range all {
 		if *exp != "all" && *exp != e.id {
+			continue
+		}
+		if e.id == "snap" && *exp != "snap" {
+			// Snapshots rerun the update workloads; only on explicit request.
 			continue
 		}
 		ran = true

@@ -1,22 +1,27 @@
 // Command boxinspect opens a labeling store file saved by boxload -save
 // (or Store.Save), reports its state, verifies every structural invariant,
-// and optionally resolves LIDs.
+// and optionally resolves LIDs, prints structural health gauges, or
+// pretty-prints a flight-recorder crash dump.
 //
 // Usage:
 //
 //	boxinspect labels.box
 //	boxinspect -lid 42 -lid 43 labels.box
+//	boxinspect -health labels.box
+//	boxinspect -crash crash-W-BOX-insert-....json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"boxes/internal/core"
+	"boxes/internal/obs"
 	"boxes/internal/order"
 	"boxes/internal/pager"
 )
@@ -37,10 +42,19 @@ func main() {
 	var lids lidList
 	check := flag.Bool("check", true, "verify structural invariants")
 	metrics := flag.Bool("metrics", true, "print the store's metrics snapshot (per-phase I/O, check duration, structural counters)")
+	health := flag.Bool("health", false, "walk the structure and print its health gauges (height, occupancy, balance slack, fragmentation)")
+	crash := flag.String("crash", "", "pretty-print a flight-recorder crash dump instead of opening a store")
 	flag.Var(&lids, "lid", "resolve this LID to its current label (repeatable)")
 	flag.Parse()
+
+	if *crash != "" {
+		if err := printCrashDump(*crash); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: boxinspect [flags] <store.box>")
+		fmt.Fprintln(os.Stderr, "usage: boxinspect [flags] <store.box>  |  boxinspect -crash <dump.json>")
 		os.Exit(2)
 	}
 
@@ -66,6 +80,11 @@ func main() {
 			fatal(fmt.Errorf("INVARIANT VIOLATION: %w", err))
 		}
 		fmt.Println("check   : all structural invariants hold")
+	}
+
+	if *health {
+		fmt.Println("health  :")
+		printGauges(os.Stdout, st.Health(), "  ")
 	}
 
 	if len(lids) > 0 {
@@ -96,6 +115,62 @@ func main() {
 			fmt.Printf("  events : %s\n", ctrs)
 		}
 	}
+}
+
+// printGauges renders gauges sorted by family and labels, one per line.
+func printGauges(w *os.File, gs []obs.GaugeValue, indent string) {
+	obs.SortGauges(gs)
+	for _, g := range gs {
+		fmt.Fprintf(w, "%s%s%s = %s\n", indent, g.Name, g.LabelString(),
+			strconv.FormatFloat(g.Value, 'g', -1, 64))
+	}
+}
+
+// printCrashDump pretty-prints a flight-recorder crash file: the trigger,
+// the op events leading up to it, the structural gauges at dump time, and
+// the non-zero structural counters.
+func printCrashDump(path string) error {
+	d, err := obs.ReadCrashDump(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("crash   : %s\n", path)
+	fmt.Printf("time    : %s\n", d.Time.Format(time.RFC3339Nano))
+	fmt.Printf("trigger : %s\n", formatEvent(d.Trigger))
+	fmt.Printf("events  : last %d before the failure (oldest first)\n", len(d.Events))
+	for _, e := range d.Events {
+		fmt.Printf("  %s\n", formatEvent(e))
+	}
+	if len(d.Gauges) > 0 {
+		fmt.Println("gauges  :")
+		printGauges(os.Stdout, d.Gauges, "  ")
+	}
+	if ctrs := d.Metrics.FormatCounters(); ctrs != "" {
+		fmt.Printf("events  : %s\n", ctrs)
+	}
+	var ops []string
+	for name, op := range d.Metrics.Ops {
+		if op.Count > 0 {
+			ops = append(ops, fmt.Sprintf("%s=%d(err:%d)", name, op.Count, op.Errors))
+		}
+	}
+	if len(ops) > 0 {
+		sort.Strings(ops)
+		fmt.Printf("ops     : %s\n", strings.Join(ops, " "))
+	}
+	return nil
+}
+
+func formatEvent(e obs.EventRecord) string {
+	if e.Start {
+		return fmt.Sprintf("%-8s %-14s (op start)", e.Scheme, e.Op)
+	}
+	s := fmt.Sprintf("%-8s %-14s %8v  r=%d w=%d", e.Scheme, e.Op,
+		time.Duration(e.Duration).Round(time.Microsecond), e.Reads, e.Writes)
+	if e.Error != "" {
+		s += "  ERROR: " + e.Error
+	}
+	return s
 }
 
 func fatal(err error) {

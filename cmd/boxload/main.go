@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -27,16 +28,18 @@ import (
 
 func main() {
 	var (
-		scheme  = flag.String("scheme", "wbox", "labeling scheme: wbox | wboxo | bbox | naive")
-		ordinal = flag.Bool("ordinal", false, "enable ordinal labeling support")
-		naiveK  = flag.Int("k", 16, "gap bits for -scheme naive")
-		block   = flag.Int("block", 8192, "block size in bytes")
-		join    = flag.String("join", "", "containment join: ancestorName,descendantName")
-		twig    = flag.String("twig", "", "linear twig pattern, e.g. //open_auction//bidder/increase")
-		pattern = flag.String("pattern", "", "branching pattern, e.g. //open_auction[//bidder/increase][/seller]")
-		check   = flag.Bool("check", true, "verify structural invariants after loading")
-		saveTo  = flag.String("save", "", "persist the labeling store to this file after loading")
-		metrics = flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (\":0\" picks a port)")
+		scheme   = flag.String("scheme", "wbox", "labeling scheme: wbox | wboxo | bbox | naive")
+		ordinal  = flag.Bool("ordinal", false, "enable ordinal labeling support")
+		naiveK   = flag.Int("k", 16, "gap bits for -scheme naive")
+		block    = flag.Int("block", 8192, "block size in bytes")
+		join     = flag.String("join", "", "containment join: ancestorName,descendantName")
+		twig     = flag.String("twig", "", "linear twig pattern, e.g. //open_auction//bidder/increase")
+		pattern  = flag.String("pattern", "", "branching pattern, e.g. //open_auction[//bidder/increase][/seller]")
+		check    = flag.Bool("check", true, "verify structural invariants after loading")
+		saveTo   = flag.String("save", "", "persist the labeling store to this file after loading")
+		metrics  = flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (\":0\" picks a port)")
+		crashDir = flag.String("crashdir", "", "write flight-recorder crash dumps to this directory on op errors")
+		linger   = flag.Bool("linger", false, "with -metrics: keep serving after the work until interrupted")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -58,7 +61,7 @@ func main() {
 		fatal(err)
 	}
 
-	opts := core.Options{BlockSize: *block, Ordinal: *ordinal, NaiveK: *naiveK}
+	opts := core.Options{BlockSize: *block, Ordinal: *ordinal, NaiveK: *naiveK, CrashDir: *crashDir}
 	switch *scheme {
 	case "wbox":
 		opts.Scheme = core.SchemeWBox
@@ -157,6 +160,18 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("saved   : %s (%d blocks); resume with boxes.OpenExisting\n", *saveTo, st.Blocks())
+	}
+
+	if *metrics != "" {
+		// The store is quiescent now, so scrape-time health walks cannot
+		// race the single-writer ops above.
+		st.RegisterHealthGauges()
+		if *linger {
+			fmt.Println("lingering: metrics endpoint (with health gauges) stays up until interrupted")
+			ch := make(chan os.Signal, 1)
+			signal.Notify(ch, os.Interrupt)
+			<-ch
+		}
 	}
 }
 

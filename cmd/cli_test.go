@@ -5,6 +5,7 @@ package cmd_test
 
 import (
 	"bufio"
+	"errors"
 	"io"
 	"net/http"
 	"os"
@@ -14,6 +15,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"boxes/internal/bench"
+	"boxes/internal/obs"
 )
 
 var binDir string
@@ -24,7 +28,7 @@ func TestMain(m *testing.M) {
 		panic(err)
 	}
 	binDir = dir
-	for _, tool := range []string{"boxgen", "boxload", "boxinspect", "boxbench"} {
+	for _, tool := range []string{"boxgen", "boxload", "boxinspect", "boxbench", "benchdiff"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "boxes/cmd/"+tool)
 		cmd.Stderr = os.Stderr
 		if err := cmd.Run(); err != nil {
@@ -84,6 +88,129 @@ func TestGenerateLoadInspect(t *testing.T) {
 	}
 	if !strings.Contains(out, "1=") {
 		t.Fatalf("lid resolution missing:\n%s", out)
+	}
+}
+
+// TestInspectHealth saves a store and checks boxinspect -health prints the
+// structural gauges walked from the file.
+func TestInspectHealth(t *testing.T) {
+	dir := t.TempDir()
+	xml := filepath.Join(dir, "doc.xml")
+	gen := run(t, "boxgen", "-elements", "1500", "-seed", "7")
+	if err := os.WriteFile(xml, []byte(gen), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	box := filepath.Join(dir, "labels.box")
+	run(t, "boxload", "-scheme", "bbox", "-save", box, xml)
+
+	out := run(t, "boxinspect", "-health", box)
+	for _, want := range []string{
+		"health  :",
+		`boxes_tree_height{scheme="B-BOX"}`,
+		"boxes_node_occupancy",
+		"boxes_balance_slack",
+		"lidf_fragmentation",
+		"pager_blocks",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("boxinspect -health missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, `boxes_health_walk_errors{scheme="B-BOX"} = 0`) {
+		t.Errorf("walk errors not reported as zero:\n%s", out)
+	}
+}
+
+// TestInspectCrashDump writes a crash file through a real flight recorder
+// and checks boxinspect -crash round-trips it into readable form.
+func TestInspectCrashDump(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	fr := obs.NewFlightRecorder(reg, dir, 8)
+	reg.AddHook(fr)
+	reg.RegisterCollector(obs.CollectorFunc(func() []obs.GaugeValue {
+		return []obs.GaugeValue{obs.G("boxes_tree_height", "h", 3, "scheme", "W-BOX")}
+	}))
+	c := reg.Begin("W-BOX", obs.OpInsert, 0, 0)
+	reg.End(c, 4, 2, errors.New("injected failure: write budget exhausted"))
+	if fr.Dumps() != 1 {
+		t.Fatalf("dumps = %d (err: %v)", fr.Dumps(), fr.Err())
+	}
+
+	out := run(t, "boxinspect", "-crash", fr.LastDump())
+	for _, want := range []string{
+		"trigger : W-BOX",
+		"insert",
+		"ERROR: injected failure: write budget exhausted",
+		`boxes_tree_height{scheme="W-BOX"} = 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("boxinspect -crash missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBenchdiffCLI drives the comparator over synthetic snapshots: clean
+// pass, a 2x regression (exit 1), and incomparable parameters (exit 2).
+func TestBenchdiffCLI(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, avgIO float64, seed int64) string {
+		s := bench.SnapshotFile{
+			Version:    1,
+			Experiment: "concentrated",
+			Params:     bench.SnapshotParams{BlockSize: 512, BaseElems: 100, InsertElems: 50, Seed: seed},
+			Schemes: []bench.SchemeSnapshot{{
+				Scheme: "W-BOX", Ops: 50, AvgIO: avgIO, TotalIO: uint64(avgIO * 50), MaxIO: 20, P99IO: 10,
+			}},
+		}
+		sub := filepath.Join(dir, name)
+		path, err := bench.WriteSnapshotFile(sub, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	baseline := write("base", 4, 1)
+	same := write("same", 4, 1)
+	worse := write("worse", 8, 1)
+	otherParams := write("params", 4, 99)
+
+	out := run(t, "benchdiff", baseline, same)
+	if !strings.Contains(out, "no regressions") {
+		t.Errorf("clean diff output:\n%s", out)
+	}
+
+	cmd := exec.Command(filepath.Join(binDir, "benchdiff"), baseline, worse)
+	outB, err := cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 1 {
+		t.Errorf("2x regression: exit %d (err %v), want 1:\n%s", code, err, outB)
+	}
+	if !strings.Contains(string(outB), "avg_io_per_op") || !strings.Contains(string(outB), "2.00x worse") {
+		t.Errorf("regression not described:\n%s", outB)
+	}
+
+	cmd = exec.Command(filepath.Join(binDir, "benchdiff"), baseline, otherParams)
+	outB, _ = cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 2 {
+		t.Errorf("params mismatch: exit %d, want 2:\n%s", code, outB)
+	}
+}
+
+// TestBenchSnapshotCLI runs boxbench -exp snap on a tiny workload and
+// diffs the emitted snapshot against itself.
+func TestBenchSnapshotCLI(t *testing.T) {
+	dir := t.TempDir()
+	out := run(t, "boxbench", "-exp", "snap", "-base", "300", "-inserts", "60",
+		"-xmark", "200", "-xprime", "50", "-json", dir)
+	if !strings.Contains(out, "BENCH_concentrated.json") {
+		t.Errorf("snap output:\n%s", out)
+	}
+	for _, exp := range []string{"concentrated", "scattered", "xmark"} {
+		path := filepath.Join(dir, "BENCH_"+exp+".json")
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("snapshot not written: %v", err)
+		}
+		run(t, "benchdiff", path, path)
 	}
 }
 

@@ -8,7 +8,9 @@ package bench
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
+	"time"
 
 	"boxes/internal/bbox"
 	"boxes/internal/naive"
@@ -167,9 +169,11 @@ type Recorder struct {
 	scheme string
 	op     obs.Op
 
-	seen  int
-	costs []uint32
-	total uint64
+	seen     int
+	costs    []uint32
+	total    uint64
+	durs     []int64 // wall time per recorded op, nanoseconds
+	totalDur int64
 }
 
 // NewRecorder wraps store.
@@ -182,11 +186,16 @@ func (r *Recorder) Observe(reg *obs.Registry, scheme string, op obs.Op) *Recorde
 	return r
 }
 
-// Do runs op and records its I/O cost (unless still in the skip prefix).
+// Do runs op and records its I/O cost and wall time (unless still in the
+// skip prefix). The recorder keeps its own per-op durations because the
+// registry's histograms are shared across every scheme in a run; per-scheme
+// p50/p99 must come from here.
 func (r *Recorder) Do(op func() error) error {
 	before := r.store.Stats()
 	ctx := r.reg.Begin(r.scheme, r.op, before.Reads, before.Writes)
+	start := time.Now()
 	err := op()
+	elapsed := time.Since(start)
 	after := r.store.Stats()
 	r.reg.End(ctx, after.Reads, after.Writes, err)
 	if err != nil {
@@ -199,6 +208,8 @@ func (r *Recorder) Do(op func() error) error {
 	d := after.Sub(before).Total()
 	r.costs = append(r.costs, uint32(d))
 	r.total += d
+	r.durs = append(r.durs, int64(elapsed))
+	r.totalDur += int64(elapsed)
 	return nil
 }
 
@@ -239,6 +250,48 @@ func (r *Recorder) Max() uint64 {
 	return uint64(m)
 }
 
+// OpsPerSec reports the recorded operations' wall-clock throughput.
+func (r *Recorder) OpsPerSec() float64 {
+	if r.totalDur <= 0 {
+		return 0
+	}
+	return float64(len(r.durs)) / (float64(r.totalDur) / 1e9)
+}
+
+// LatencyPercentile returns the p-th percentile (0 < p <= 1) of recorded
+// per-op wall times, in nanoseconds.
+func (r *Recorder) LatencyPercentile(p float64) int64 {
+	if len(r.durs) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), r.durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[percentileIndex(len(sorted), p)]
+}
+
+// IOPercentile returns the p-th percentile of recorded per-op I/O costs.
+func (r *Recorder) IOPercentile(p float64) uint64 {
+	if len(r.costs) == 0 {
+		return 0
+	}
+	sorted := append([]uint32(nil), r.costs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return uint64(sorted[percentileIndex(len(sorted), p)])
+}
+
+// percentileIndex maps percentile p to an index into a sorted sample of n
+// (nearest-rank method).
+func percentileIndex(n int, p float64) int {
+	i := int(math.Ceil(p*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
 // CCDFPoint is one point of a cost distribution: the fraction of
 // operations whose cost strictly exceeds Cost.
 type CCDFPoint struct {
@@ -274,10 +327,20 @@ type SchemeRun struct {
 	AvgIO     float64
 	TotalIO   uint64
 	MaxIO     uint64
+	P99IO     uint64
 	Ops       int
 	Height    int
 	LabelBits int
 	Dist      []CCDFPoint
+
+	// Wall-clock measurements (machine-dependent, unlike the I/O columns).
+	OpsPerSec float64
+	P50Ns     int64
+	P99Ns     int64
+
+	// Gauges holds the scheme's structural health at workload end (walked
+	// synchronously after the last operation), scheme label included.
+	Gauges []obs.GaugeValue
 }
 
 // WriteAvgTable prints the "amortized update cost" form of a figure.

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Regression is one metric that got worse beyond the diff threshold.
+type Regression struct {
+	Scheme string  // which scheme regressed
+	Metric string  // which metric
+	Old    float64 // baseline value
+	New    float64 // current value
+	Ratio  float64 // new/old for cost metrics, old/new for throughput
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %.3g -> %.3g (%.2fx worse)", r.Scheme, r.Metric, r.Old, r.New, r.Ratio)
+}
+
+// Diff compares a current snapshot against a baseline and returns every
+// metric that regressed by more than threshold (0.25 = 25% worse).
+//
+// The default comparison covers the deterministic I/O metrics — avg_io,
+// p99_io, max_io, total_io — which are reproducible across machines: in
+// the paper's cost model I/Os per op *is* throughput, so a committed
+// baseline stays meaningful on any CI runner. With wallClock set, the
+// machine-dependent ops/sec and p99 latency are compared too; only do that
+// when both snapshots come from the same hardware.
+//
+// Schemes present in only one snapshot are ignored (the matrix may grow),
+// but mismatched workload parameters are an error: those numbers are not
+// comparable at any threshold.
+func Diff(baseline, current SnapshotFile, threshold float64, wallClock bool) ([]Regression, error) {
+	if baseline.Experiment != current.Experiment {
+		return nil, fmt.Errorf("bench: diffing different experiments: %q vs %q", baseline.Experiment, current.Experiment)
+	}
+	if !reflect.DeepEqual(baseline.Params, current.Params) {
+		return nil, fmt.Errorf("bench: workload parameters differ: baseline %+v vs current %+v", baseline.Params, current.Params)
+	}
+	base := make(map[string]SchemeSnapshot, len(baseline.Schemes))
+	for _, s := range baseline.Schemes {
+		base[s.Scheme] = s
+	}
+	var regs []Regression
+	for _, cur := range current.Schemes {
+		old, ok := base[cur.Scheme]
+		if !ok {
+			continue
+		}
+		costs := []struct {
+			metric   string
+			old, new float64
+		}{
+			{"avg_io_per_op", old.AvgIO, cur.AvgIO},
+			{"p99_io", float64(old.P99IO), float64(cur.P99IO)},
+			{"max_io", float64(old.MaxIO), float64(cur.MaxIO)},
+			{"total_io", float64(old.TotalIO), float64(cur.TotalIO)},
+		}
+		if wallClock {
+			costs = append(costs,
+				struct {
+					metric   string
+					old, new float64
+				}{"latency_p99_ns", float64(old.LatencyP99Ns), float64(cur.LatencyP99Ns)})
+		}
+		for _, c := range costs {
+			// Higher is worse; a zero baseline can only regress to non-zero.
+			if c.old > 0 && c.new > c.old*(1+threshold) {
+				regs = append(regs, Regression{Scheme: cur.Scheme, Metric: c.metric, Old: c.old, New: c.new, Ratio: c.new / c.old})
+			}
+		}
+		if wallClock && old.OpsPerSec > 0 && cur.OpsPerSec < old.OpsPerSec/(1+threshold) {
+			// Lower is worse for throughput.
+			regs = append(regs, Regression{Scheme: cur.Scheme, Metric: "ops_per_sec", Old: old.OpsPerSec, New: cur.OpsPerSec, Ratio: old.OpsPerSec / cur.OpsPerSec})
+		}
+	}
+	return regs, nil
+}

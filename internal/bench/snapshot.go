@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// snapshotVersion is bumped whenever the BENCH_*.json schema changes shape.
+const snapshotVersion = 1
+
+// SnapshotParams records the workload parameters a snapshot was produced
+// with, so a diff can refuse to compare apples to oranges.
+type SnapshotParams struct {
+	BlockSize   int   `json:"block_size"`
+	BaseElems   int   `json:"base_elems"`
+	InsertElems int   `json:"insert_elems"`
+	XMarkElems  int   `json:"xmark_elems"`
+	XMarkPrime  int   `json:"xmark_prime"`
+	Seed        int64 `json:"seed"`
+	NaiveKs     []int `json:"naive_ks,omitempty"`
+}
+
+func paramsOf(cfg Config) SnapshotParams {
+	return SnapshotParams{
+		BlockSize:   cfg.BlockSize,
+		BaseElems:   cfg.BaseElems,
+		InsertElems: cfg.InsertElems,
+		XMarkElems:  cfg.XMarkElems,
+		XMarkPrime:  cfg.XMarkPrime,
+		Seed:        cfg.Seed,
+		NaiveKs:     cfg.NaiveKs,
+	}
+}
+
+// SchemeSnapshot is one scheme's measurements in a snapshot file. The I/O
+// columns are deterministic (same binary + same params = same numbers);
+// the wall-clock columns vary with the machine, which is why benchdiff
+// compares I/O metrics by default.
+type SchemeSnapshot struct {
+	Scheme       string  `json:"scheme"`
+	Ops          int     `json:"ops"`
+	AvgIO        float64 `json:"avg_io_per_op"`
+	TotalIO      uint64  `json:"total_io"`
+	MaxIO        uint64  `json:"max_io"`
+	P99IO        uint64  `json:"p99_io"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	LatencyP50Ns int64   `json:"latency_p50_ns"`
+	LatencyP99Ns int64   `json:"latency_p99_ns"`
+	Height       int     `json:"height"`
+	LabelBits    int     `json:"label_bits"`
+	// Gauges is the scheme's final structural health, flattened to
+	// fully-qualified sample keys (name plus rendered labels).
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+}
+
+// SnapshotFile is the on-disk schema of one BENCH_<experiment>.json.
+type SnapshotFile struct {
+	Version    int              `json:"version"`
+	Experiment string           `json:"experiment"`
+	Params     SnapshotParams   `json:"params"`
+	Schemes    []SchemeSnapshot `json:"schemes"`
+}
+
+// SnapshotRuns converts one experiment's results into the snapshot form.
+func SnapshotRuns(experiment string, cfg Config, runs []SchemeRun) SnapshotFile {
+	s := SnapshotFile{
+		Version:    snapshotVersion,
+		Experiment: experiment,
+		Params:     paramsOf(cfg),
+	}
+	for _, r := range runs {
+		ss := SchemeSnapshot{
+			Scheme:       r.Scheme,
+			Ops:          r.Ops,
+			AvgIO:        r.AvgIO,
+			TotalIO:      r.TotalIO,
+			MaxIO:        r.MaxIO,
+			P99IO:        r.P99IO,
+			OpsPerSec:    r.OpsPerSec,
+			LatencyP50Ns: r.P50Ns,
+			LatencyP99Ns: r.P99Ns,
+			Height:       r.Height,
+			LabelBits:    r.LabelBits,
+		}
+		if len(r.Gauges) > 0 {
+			ss.Gauges = make(map[string]float64, len(r.Gauges))
+			for _, g := range r.Gauges {
+				ss.Gauges[g.Key()] = g.Value
+			}
+		}
+		s.Schemes = append(s.Schemes, ss)
+	}
+	return s
+}
+
+// SnapshotPath returns the conventional file name for an experiment's
+// snapshot in dir: BENCH_<experiment>.json.
+func SnapshotPath(dir, experiment string) string {
+	return filepath.Join(dir, "BENCH_"+experiment+".json")
+}
+
+// WriteSnapshotFile writes s to SnapshotPath(dir, s.Experiment), creating
+// dir if needed, and returns the path.
+func WriteSnapshotFile(dir string, s SnapshotFile) (string, error) {
+	if dir != "" && dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return "", err
+		}
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := SnapshotPath(dir, s.Experiment)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadSnapshotFile parses a BENCH_*.json file.
+func ReadSnapshotFile(path string) (SnapshotFile, error) {
+	var s SnapshotFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("bench: snapshot %s: %w", path, err)
+	}
+	if s.Version != snapshotVersion {
+		return s, fmt.Errorf("bench: snapshot %s: unsupported version %d", path, s.Version)
+	}
+	return s, nil
+}
+
+// WriteBenchSnapshots runs the three update experiments (concentrated,
+// scattered, xmark) and writes one BENCH_<experiment>.json each into dir.
+// It returns the paths written.
+func WriteBenchSnapshots(dir string, cfg Config) ([]string, error) {
+	type exp struct {
+		name string
+		run  func(Config) ([]SchemeRun, error)
+	}
+	exps := []exp{
+		{"concentrated", RunConcentrated},
+		{"scattered", RunScattered},
+		{"xmark", RunXMark},
+	}
+	var paths []string
+	for _, e := range exps {
+		runs, err := e.run(cfg)
+		if err != nil {
+			return paths, fmt.Errorf("bench: %s: %w", e.name, err)
+		}
+		path, err := WriteSnapshotFile(dir, SnapshotRuns(e.name, cfg, runs))
+		if err != nil {
+			return paths, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}

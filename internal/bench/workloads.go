@@ -133,16 +133,27 @@ func RunUpdateWorkload(cfg Config, specs []SchemeSpec, workload func(order.Label
 		if err := workload(l, rec); err != nil {
 			return nil, fmt.Errorf("%s: %w", spec.Name, err)
 		}
-		out = append(out, SchemeRun{
+		run := SchemeRun{
 			Scheme:    spec.Name,
 			AvgIO:     rec.Avg(),
 			TotalIO:   rec.Total(),
 			MaxIO:     rec.Max(),
+			P99IO:     rec.IOPercentile(0.99),
 			Ops:       rec.N(),
 			Height:    l.Height(),
 			LabelBits: l.LabelBits(),
 			Dist:      rec.CCDF(),
-		})
+			OpsPerSec: rec.OpsPerSec(),
+			P50Ns:     rec.LatencyPercentile(0.50),
+			P99Ns:     rec.LatencyPercentile(0.99),
+		}
+		// Final structural health, walked synchronously now that the
+		// workload is done (the stores are single-writer, so the runner
+		// never registers live collectors).
+		if c, ok := l.(obs.Collector); ok {
+			run.Gauges = obs.WithLabel(c.CollectGauges(), "scheme", spec.Name)
+		}
+		out = append(out, run)
 	}
 	return out, nil
 }

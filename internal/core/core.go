@@ -100,6 +100,16 @@ type Options struct {
 	// TraceHooks are installed on the registry at Open time, receiving a
 	// structured event around every logical operation.
 	TraceHooks []obs.TraceHook
+
+	// CrashDir enables the flight recorder: on any operation error
+	// (including injected backend faults) the last CrashRing op events,
+	// a full metrics snapshot, and the structural gauges are written as a
+	// JSON crash file into this directory (boxinspect -crash reads them).
+	// When several stores share one registry, set CrashDir on one of them.
+	CrashDir string
+	// CrashRing is how many recent op events the flight recorder retains
+	// (default 64).
+	CrashRing int
 }
 
 // Store is a dynamic order-based labeling service for one XML document.
@@ -110,6 +120,7 @@ type Store struct {
 	cache      *reflog.Cache
 	reg        *obs.Registry
 	schemeName string
+	flight     *obs.FlightRecorder
 }
 
 // Open creates an empty Store.
@@ -130,6 +141,11 @@ func Open(opts Options) (*Store, error) {
 	}
 	for _, h := range opts.TraceHooks {
 		reg.AddHook(h)
+	}
+	var flight *obs.FlightRecorder
+	if opts.CrashDir != "" {
+		flight = obs.NewFlightRecorder(reg, opts.CrashDir, opts.CrashRing)
+		reg.AddHook(flight)
 	}
 	reg.SetScheme(opts.Scheme.String())
 
@@ -175,7 +191,7 @@ func Open(opts Options) (*Store, error) {
 		return nil, fmt.Errorf("core: unknown scheme %v", opts.Scheme)
 	}
 
-	s := &Store{opts: opts, store: store, labeler: labeler, reg: reg, schemeName: opts.Scheme.String()}
+	s := &Store{opts: opts, store: store, labeler: labeler, reg: reg, schemeName: opts.Scheme.String(), flight: flight}
 	if opts.Caching != CachingOff {
 		k := 0
 		if opts.Caching == CachingLogged {
@@ -215,6 +231,10 @@ func (s *Store) EnableOrdinalCache(logK int) (*reflog.Cache, error) {
 	c.SetObserver(s.reg)
 	return c, nil
 }
+
+// FlightRecorder returns the flight recorder installed via
+// Options.CrashDir, or nil when crash dumping is off.
+func (s *Store) FlightRecorder() *obs.FlightRecorder { return s.flight }
 
 // MetricsRegistry returns the registry this store reports into (never
 // nil). Callers can expose it over HTTP with obs.Handler or install trace

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"boxes/internal/obs"
+	"boxes/internal/pager"
+	"boxes/internal/xmlgen"
+)
+
+// healthConfigs is the full scheme matrix the health gauges must cover.
+func healthConfigs() []struct {
+	name string
+	opts Options
+} {
+	return []struct {
+		name string
+		opts Options
+	}{
+		{"wbox", Options{Scheme: SchemeWBox, BlockSize: 512}},
+		{"wboxo", Options{Scheme: SchemeWBoxO, BlockSize: 512}},
+		{"bbox", Options{Scheme: SchemeBBox, BlockSize: 512}},
+		{"bboxo", Options{Scheme: SchemeBBox, BlockSize: 512, Ordinal: true}},
+		{"naive", Options{Scheme: SchemeNaive, BlockSize: 512, NaiveK: 4}},
+	}
+}
+
+func findGauge(gs []obs.GaugeValue, name string) (obs.GaugeValue, bool) {
+	for _, g := range gs {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return obs.GaugeValue{}, false
+}
+
+func TestHealthGaugesAllSchemes(t *testing.T) {
+	for _, c := range healthConfigs() {
+		t.Run(c.name, func(t *testing.T) {
+			st, err := Open(c.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Load(xmlgen.TwoLevel(400)); err != nil {
+				t.Fatal(err)
+			}
+			gs := st.Health()
+			if len(gs) == 0 {
+				t.Fatal("no health gauges")
+			}
+			scheme := st.Scheme().String()
+			for _, g := range gs {
+				if len(g.Labels) == 0 || g.Labels[0][0] != "scheme" || g.Labels[0][1] != scheme {
+					t.Fatalf("gauge %s not stamped with scheme %q", g.Key(), scheme)
+				}
+			}
+			h, ok := findGauge(gs, "boxes_tree_height")
+			if !ok {
+				t.Fatal("boxes_tree_height missing")
+			}
+			if h.Value != float64(st.Height()) {
+				t.Errorf("boxes_tree_height = %v, store height %d", h.Value, st.Height())
+			}
+			if live, ok := findGauge(gs, "boxes_labels_live"); !ok || live.Value != float64(st.Count()) {
+				t.Errorf("boxes_labels_live = %+v, store count %d", live, st.Count())
+			}
+			if we, ok := findGauge(gs, "boxes_health_walk_errors"); ok && we.Value != 0 {
+				t.Errorf("walk errors = %v on a healthy store", we.Value)
+			}
+			if pb, ok := findGauge(gs, "pager_blocks"); !ok || pb.Value <= 0 {
+				t.Errorf("pager_blocks = %+v", pb)
+			}
+			if lf, ok := findGauge(gs, "lidf_records_live"); !ok || lf.Value <= 0 {
+				t.Errorf("lidf_records_live = %+v", lf)
+			}
+			// A loaded tree must report positive occupancy observations: the
+			// +Inf bucket of the occupancy distribution counts every node.
+			if c.name != "naive" {
+				var inf float64
+				for _, g := range gs {
+					if g.Name == "boxes_node_occupancy" {
+						for _, kv := range g.Labels {
+							if kv[0] == "le" && kv[1] == "+Inf" {
+								inf += g.Value
+							}
+						}
+					}
+				}
+				if inf <= 0 {
+					t.Errorf("occupancy +Inf buckets sum to %v, want > 0", inf)
+				}
+			}
+		})
+	}
+}
+
+func TestHealthGaugesEmptyStore(t *testing.T) {
+	for _, c := range healthConfigs() {
+		t.Run(c.name, func(t *testing.T) {
+			st, err := Open(c.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gs := st.Health() // must not panic on a store with no labels
+			if h, ok := findGauge(gs, "boxes_tree_height"); !ok || h.Value != float64(st.Height()) {
+				t.Errorf("boxes_tree_height = %+v, store height %d", h, st.Height())
+			}
+			if we, ok := findGauge(gs, "boxes_health_walk_errors"); ok && we.Value != 0 {
+				t.Errorf("walk errors = %v on an empty store", we.Value)
+			}
+		})
+	}
+}
+
+// TestHealthWalkSurvivesInjectedFailures checks the gauge walk degrades
+// instead of failing when the backend is refusing I/O: it returns what it
+// can and reports the interruptions in boxes_health_walk_errors.
+func TestHealthWalkSurvivesInjectedFailures(t *testing.T) {
+	flaky := pager.NewFlakyBackend(pager.NewMemBackend(512), 1<<30)
+	st, err := Open(Options{Scheme: SchemeWBox, BlockSize: 512, Backend: flaky})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := st.Load(xmlgen.TwoLevel(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky.Budget = flaky.Ops() // every backend op from here on fails
+	if _, err := st.InsertElementBefore(doc.Elems[50].Start); !errors.Is(err, pager.ErrInjected) {
+		t.Fatalf("insert err = %v, want injected", err)
+	}
+	gs := st.Health()
+	we, ok := findGauge(gs, "boxes_health_walk_errors")
+	if !ok {
+		t.Fatal("boxes_health_walk_errors missing from degraded walk")
+	}
+	if we.Value == 0 {
+		t.Error("walk errors = 0 despite dead backend")
+	}
+	// The zero-I/O gauges are still there.
+	if _, ok := findGauge(gs, "boxes_tree_height"); !ok {
+		t.Error("boxes_tree_height missing from degraded walk")
+	}
+	if _, ok := findGauge(gs, "lidf_fragmentation"); !ok {
+		t.Error("lidf_fragmentation missing from degraded walk")
+	}
+}
+
+// TestCrashDumpOnInjectedFailure exercises the whole flight-recorder path:
+// a FlakyBackend kills an insert, and the store's recorder writes a crash
+// file carrying the trigger, the recent ops, and the structural gauges.
+func TestCrashDumpOnInjectedFailure(t *testing.T) {
+	dir := t.TempDir()
+	flaky := pager.NewFlakyBackend(pager.NewMemBackend(512), 1<<30)
+	st, err := Open(Options{Scheme: SchemeWBox, BlockSize: 512, Backend: flaky, CrashDir: dir, CrashRing: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := st.FlightRecorder()
+	if fr == nil {
+		t.Fatal("CrashDir set but no flight recorder installed")
+	}
+	doc, err := st.Load(xmlgen.TwoLevel(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.RegisterHealthGauges() // quiescent: the failing insert below dumps gauges too
+	for i := 0; i < 5; i++ {
+		if _, err := st.InsertElementBefore(doc.Elems[50].Start); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flaky.Budget = flaky.Ops()
+	if _, err := st.InsertElementBefore(doc.Elems[50].Start); !errors.Is(err, pager.ErrInjected) {
+		t.Fatalf("insert err = %v, want injected", err)
+	}
+
+	if fr.Dumps() != 1 {
+		t.Fatalf("dumps = %d, want 1 (writer err: %v)", fr.Dumps(), fr.Err())
+	}
+	d, err := obs.ReadCrashDump(fr.LastDump())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Trigger.Op != "insert" || !strings.Contains(d.Trigger.Error, "injected") {
+		t.Errorf("trigger = %+v", d.Trigger)
+	}
+	if len(d.Events) == 0 {
+		t.Error("no ring events in dump")
+	}
+	if _, ok := findGauge(d.Gauges, "boxes_tree_height"); !ok {
+		t.Errorf("dump gauges missing boxes_tree_height: %d gauges", len(d.Gauges))
+	}
+	if d.Metrics.Ops["insert"].Errors == 0 {
+		t.Error("dump metrics do not show the failed insert")
+	}
+}
+
+// TestRegisterHealthGaugesExposition loads one store and checks the
+// Prometheus exposition carries the full set of structural gauge families
+// the issue promises (>= 10 on a loaded store).
+func TestRegisterHealthGaugesExposition(t *testing.T) {
+	st, err := Open(Options{Scheme: SchemeWBox, BlockSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(xmlgen.TwoLevel(400)); err != nil {
+		t.Fatal(err)
+	}
+	st.RegisterHealthGauges()
+	text := st.MetricsRegistry().String()
+	families := []string{
+		"boxes_tree_height",
+		"boxes_tree_nodes",
+		"boxes_node_occupancy",
+		"boxes_balance_slack",
+		"boxes_labels_live",
+		"boxes_labels_dead",
+		"boxes_label_space_utilization",
+		"boxes_health_walk_errors",
+		"lidf_blocks",
+		"lidf_records_live",
+		"lidf_free_slots",
+		"lidf_fragmentation",
+		"pager_blocks",
+	}
+	for _, f := range families {
+		if !strings.Contains(text, "# TYPE "+f+" gauge") {
+			t.Errorf("exposition missing gauge family %s", f)
+		}
+	}
+	if !strings.Contains(text, `boxes_tree_height{scheme="W-BOX"}`) {
+		t.Errorf("scheme label missing:\n%s", text)
+	}
+}
+
+func TestSyncStoreHealth(t *testing.T) {
+	st, err := Open(Options{Scheme: SchemeBBox, BlockSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := NewSyncStore(st)
+	doc, err := ss.Load(xmlgen.TwoLevel(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := ss.Health()
+	if _, ok := findGauge(gs, "boxes_tree_height"); !ok {
+		t.Fatal("SyncStore.Health missing boxes_tree_height")
+	}
+	// SyncStore collectors take the store lock per scrape, so registering
+	// before further updates is safe.
+	ss.RegisterHealthGauges()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			ss.MetricsRegistry().GatherGauges()
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		if _, err := ss.InsertElementBefore(doc.Elems[10].Start); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	<-done
+}

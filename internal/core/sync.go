@@ -143,3 +143,18 @@ func (s *SyncStore) Save() error {
 	defer s.mu.Unlock()
 	return s.st.Save()
 }
+
+// Health gathers the structural gauges of every layer, serialized against
+// operations (the walk reads live structures).
+func (s *SyncStore) Health() []obs.GaugeValue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.Health()
+}
+
+// RegisterHealthGauges registers the wrapped store as a scrape-time gauge
+// source. Unlike Store.RegisterHealthGauges, every scrape takes the store
+// lock, so live scrapes are safe alongside concurrent operations.
+func (s *SyncStore) RegisterHealthGauges() {
+	s.st.MetricsRegistry().RegisterCollector(obs.CollectorFunc(s.Health))
+}

@@ -1,0 +1,26 @@
+package lidf
+
+import "boxes/internal/obs"
+
+// CollectGauges implements obs.Collector: the LIDF's health is entirely
+// in-memory bookkeeping (extent count, allocation high-water mark, live
+// count), so collection costs no I/O. Free-slot fragmentation is the
+// fraction of ever-allocated record slots now sitting on the free list:
+// high fragmentation means the file is much larger than its live contents
+// and lookups are paying I/O for dead space.
+func (f *File) CollectGauges() []obs.GaugeValue {
+	allocated := uint64(f.next - 1) // slots ever handed out
+	free := allocated - f.count
+	frag := 0.0
+	if allocated > 0 {
+		frag = float64(free) / float64(allocated)
+	}
+	return []obs.GaugeValue{
+		obs.G("lidf_blocks", "Blocks occupied by the label ID file.", float64(len(f.extents))),
+		obs.G("lidf_records_live", "Live LIDF records.", float64(f.count)),
+		obs.G("lidf_free_slots", "Allocated-then-freed LIDF record slots awaiting reuse.", float64(free)),
+		obs.G("lidf_fragmentation", "Fraction of ever-allocated LIDF slots now free.", frag),
+	}
+}
+
+var _ obs.Collector = (*File)(nil)

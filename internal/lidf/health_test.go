@@ -1,0 +1,67 @@
+package lidf
+
+import (
+	"testing"
+
+	"boxes/internal/order"
+)
+
+func gaugeValue(t *testing.T, f *File, name string) float64 {
+	t.Helper()
+	for _, g := range f.CollectGauges() {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	t.Fatalf("gauge %s not collected", name)
+	return 0
+}
+
+func TestHealthGaugesTrackFragmentation(t *testing.T) {
+	f := newFile(t, 256, 8)
+
+	if got := gaugeValue(t, f, "lidf_fragmentation"); got != 0 {
+		t.Fatalf("empty file fragmentation = %v", got)
+	}
+	if got := gaugeValue(t, f, "lidf_free_slots"); got != 0 {
+		t.Fatalf("empty file free slots = %v", got)
+	}
+
+	lids := make([]order.LID, 10)
+	for i := range lids {
+		lid, err := f.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lids[i] = lid
+	}
+	if got := gaugeValue(t, f, "lidf_records_live"); got != 10 {
+		t.Fatalf("records live = %v, want 10", got)
+	}
+	if got := gaugeValue(t, f, "lidf_fragmentation"); got != 0 {
+		t.Fatalf("fragmentation before any free = %v", got)
+	}
+
+	for _, lid := range lids[:4] {
+		if err := f.Free(lid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := gaugeValue(t, f, "lidf_free_slots"); got != 4 {
+		t.Fatalf("free slots = %v, want 4", got)
+	}
+	if got := gaugeValue(t, f, "lidf_fragmentation"); got != 0.4 {
+		t.Fatalf("fragmentation = %v, want 0.4", got)
+	}
+	if got := gaugeValue(t, f, "lidf_blocks"); got != float64(f.Blocks()) {
+		t.Fatalf("blocks gauge = %v, file has %d", got, f.Blocks())
+	}
+
+	// Reuse pulls slots back off the free list.
+	if _, err := f.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if got := gaugeValue(t, f, "lidf_free_slots"); got != 3 {
+		t.Fatalf("free slots after reuse = %v, want 3", got)
+	}
+}

@@ -45,6 +45,9 @@ type Snapshot struct {
 	Schemes  []string
 	Ops      map[string]OpSnapshot
 	Counters map[string]uint64
+	// Gauges holds the structural health samples of every registered
+	// collector, evaluated at snapshot time (nil when none are registered).
+	Gauges []GaugeValue
 }
 
 func snapHist(h *hist) HistSnapshot {
@@ -84,7 +87,33 @@ func (r *Registry) Snapshot() Snapshot {
 	for c := Counter(0); c < numCounters; c++ {
 		s.Counters[c.String()] = r.counters[c].Load()
 	}
+	s.Gauges = r.GatherGauges()
 	return s
+}
+
+// escapeLabel escapes a label value for the Prometheus text exposition
+// format, which recognizes exactly three escapes inside label values:
+// backslash, double quote, and newline. (fmt's %q is not equivalent: it
+// emits Go escapes like \t and é that Prometheus parsers reject.)
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
 }
 
 // countingWriter tracks bytes written for the io.WriterTo contract.
@@ -121,16 +150,16 @@ func writeOpHist(cw *countingWriter, name, help, unit string, sel func(*opSeries
 			if unit == "s" {
 				le = secs(b)
 			}
-			cw.printf("%s_bucket{op=%q,le=%q} %d\n", name, op, le, cum)
+			cw.printf("%s_bucket{op=\"%s\",le=\"%s\"} %d\n", name, escapeLabel(op.String()), le, cum)
 		}
 		cum += h.counts[len(h.bounds)].Load()
-		cw.printf("%s_bucket{op=%q,le=\"+Inf\"} %d\n", name, op, cum)
+		cw.printf("%s_bucket{op=\"%s\",le=\"+Inf\"} %d\n", name, escapeLabel(op.String()), cum)
 		if unit == "s" {
-			cw.printf("%s_sum{op=%q} %s\n", name, op, secs(h.sum.Load()))
+			cw.printf("%s_sum{op=\"%s\"} %s\n", name, escapeLabel(op.String()), secs(h.sum.Load()))
 		} else {
-			cw.printf("%s_sum{op=%q} %d\n", name, op, h.sum.Load())
+			cw.printf("%s_sum{op=\"%s\"} %d\n", name, escapeLabel(op.String()), h.sum.Load())
 		}
-		cw.printf("%s_count{op=%q} %d\n", name, op, cum)
+		cw.printf("%s_count{op=\"%s\"} %d\n", name, escapeLabel(op.String()), cum)
 	}
 }
 
@@ -144,16 +173,16 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 
 	cw.printf("# HELP boxes_store_info Labeling schemes reporting into this registry.\n# TYPE boxes_store_info gauge\n")
 	for _, s := range r.Schemes() {
-		cw.printf("boxes_store_info{scheme=%q} 1\n", s)
+		cw.printf("boxes_store_info{scheme=\"%s\"} 1\n", escapeLabel(s))
 	}
 
 	cw.printf("# HELP boxes_ops_total Operations executed, by operation kind.\n# TYPE boxes_ops_total counter\n")
 	for op := Op(0); op < numOps; op++ {
-		cw.printf("boxes_ops_total{op=%q} %d\n", op, r.ops[op].count.Load())
+		cw.printf("boxes_ops_total{op=\"%s\"} %d\n", escapeLabel(op.String()), r.ops[op].count.Load())
 	}
 	cw.printf("# HELP boxes_op_errors_total Operations that returned an error, by operation kind.\n# TYPE boxes_op_errors_total counter\n")
 	for op := Op(0); op < numOps; op++ {
-		cw.printf("boxes_op_errors_total{op=%q} %d\n", op, r.ops[op].errors.Load())
+		cw.printf("boxes_op_errors_total{op=\"%s\"} %d\n", escapeLabel(op.String()), r.ops[op].errors.Load())
 	}
 
 	writeOpHist(cw, "boxes_op_duration_seconds", "Wall time per operation.", "s",
@@ -163,9 +192,37 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	writeOpHist(cw, "boxes_op_writes", "Block writes charged per operation.", "",
 		func(s *opSeries) *hist { return &s.writes }, r)
 
+	// Structural counters, one # TYPE line per metric family. Several
+	// schemes (and several stores) may report into one registry; families
+	// must still be announced exactly once, so the values of any family
+	// already emitted are folded into the first announcement.
+	typed := make(map[string]bool, numCounters)
 	for c := Counter(0); c < numCounters; c++ {
 		name := c.String()
-		cw.printf("# TYPE %s counter\n%s %d\n", name, name, r.counters[c].Load())
+		if typed[name] {
+			continue
+		}
+		typed[name] = true
+		total := r.counters[c].Load()
+		for d := c + 1; d < numCounters; d++ {
+			if d.String() == name {
+				total += r.counters[d].Load()
+			}
+		}
+		cw.printf("# TYPE %s counter\n%s %d\n", name, name, total)
+	}
+
+	// Scrape-time structural gauges: every registered collector walks its
+	// structure now, and samples sharing a family are grouped under a
+	// single # TYPE line regardless of which scheme reported them.
+	for _, fam := range groupGauges(r.GatherGauges()) {
+		if fam.help != "" {
+			cw.printf("# HELP %s %s\n", fam.name, fam.help)
+		}
+		cw.printf("# TYPE %s gauge\n", fam.name)
+		for _, g := range fam.samples {
+			cw.printf("%s%s %s\n", fam.name, g.LabelString(), strconv.FormatFloat(g.Value, 'g', -1, 64))
+		}
 	}
 	return cw.n, cw.err
 }

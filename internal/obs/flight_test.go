@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runOp drives one instrumented operation through the registry, optionally
+// failing it.
+func runOp(r *Registry, scheme string, op Op, err error) {
+	c := r.Begin(scheme, op, 0, 0)
+	r.End(c, 3, 1, err)
+}
+
+func TestFlightRecorderDumpsOnError(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry()
+	f := NewFlightRecorder(r, dir, 16)
+	r.AddHook(f)
+	r.RegisterCollector(CollectorFunc(func() []GaugeValue {
+		return []GaugeValue{G("boxes_tree_height", "h", 3, "scheme", "W-BOX")}
+	}))
+
+	for i := 0; i < 5; i++ {
+		runOp(r, "W-BOX", OpInsert, nil)
+	}
+	if f.Dumps() != 0 {
+		t.Fatalf("dumps after successes = %d, want 0", f.Dumps())
+	}
+	runOp(r, "W-BOX", OpInsert, errors.New("injected failure: budget exhausted"))
+
+	if f.Dumps() != 1 {
+		t.Fatalf("dumps = %d, want 1", f.Dumps())
+	}
+	if f.Err() != nil {
+		t.Fatalf("recorder error: %v", f.Err())
+	}
+	path := f.LastDump()
+	if path == "" {
+		t.Fatal("no dump path recorded")
+	}
+
+	d, err := ReadCrashDump(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Trigger.Scheme != "W-BOX" || d.Trigger.Op != "insert" {
+		t.Errorf("trigger = %+v", d.Trigger)
+	}
+	if !strings.Contains(d.Trigger.Error, "injected failure") {
+		t.Errorf("trigger error = %q", d.Trigger.Error)
+	}
+	// The ring holds starts and ends of the preceding ops plus the failure.
+	if len(d.Events) < 6 {
+		t.Errorf("only %d events retained", len(d.Events))
+	}
+	last := d.Events[len(d.Events)-1]
+	if last.Error == "" {
+		t.Errorf("newest ring event is not the failure: %+v", last)
+	}
+	if len(d.Gauges) != 1 || d.Gauges[0].Name != "boxes_tree_height" {
+		t.Errorf("gauges = %+v", d.Gauges)
+	}
+	if d.Metrics.Ops["insert"].Errors != 1 {
+		t.Errorf("metrics snapshot errors = %d, want 1", d.Metrics.Ops["insert"].Errors)
+	}
+}
+
+func TestFlightRecorderRespectsDumpLimit(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry()
+	f := NewFlightRecorder(r, dir, 8)
+	f.SetDumpLimit(2)
+	r.AddHook(f)
+
+	for i := 0; i < 5; i++ {
+		runOp(r, "B-BOX", OpDelete, errors.New("persistent fault"))
+	}
+	if f.Dumps() != 2 {
+		t.Fatalf("dumps = %d, want 2", f.Dumps())
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "crash-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("%d crash files on disk, want 2: %v", len(files), files)
+	}
+}
+
+func TestReadCrashDumpRejectsBadVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crash.json")
+	if err := os.WriteFile(path, []byte(`{"version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCrashDump(path); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("err = %v, want version error", err)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("naive-4/k=2"); got != "naive-4_k_2" {
+		t.Errorf("sanitize = %q", got)
+	}
+	if got := sanitize(""); got != "unknown" {
+		t.Errorf("sanitize empty = %q", got)
+	}
+}

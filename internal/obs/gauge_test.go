@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEscapeLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`qu"ote`, `qu\"ote`},
+		{"new\nline", `new\nline`},
+		{"tab\there", "tab\there"}, // only \ " \n are escaped in the text format
+		{`all"three\of` + "\nthem", `all\"three\\of\nthem`},
+	}
+	for _, c := range cases {
+		if got := escapeLabel(c.in); got != c.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	g := G("m", "", 1, "scheme", `W"BOX`)
+	if got, want := g.LabelString(), `{scheme="W\"BOX"}`; got != want {
+		t.Errorf("LabelString = %q, want %q", got, want)
+	}
+}
+
+func TestBucketGauges(t *testing.T) {
+	gs := BucketGauges("occ", "help", []float64{0.5, 1}, []float64{0.2, 0.6, 0.9, 1.5}, "level", "0")
+	if len(gs) != 3 {
+		t.Fatalf("got %d samples, want 3 (two bounds + +Inf)", len(gs))
+	}
+	wantCounts := []float64{1, 3, 4} // <=0.5, <=1, +Inf
+	wantLe := []string{"0.5", "1", "+Inf"}
+	for i, g := range gs {
+		if g.Value != wantCounts[i] {
+			t.Errorf("bucket %d: value %v, want %v", i, g.Value, wantCounts[i])
+		}
+		if g.Labels[0] != [2]string{"le", wantLe[i]} {
+			t.Errorf("bucket %d: first label %v, want le=%s", i, g.Labels[0], wantLe[i])
+		}
+		if g.Labels[1] != [2]string{"level", "0"} {
+			t.Errorf("bucket %d: extra label %v not carried", i, g.Labels[1])
+		}
+	}
+	if got := BucketGauges("e", "", []float64{1}, nil); got[len(got)-1].Value != 0 {
+		t.Errorf("+Inf bucket of empty observations = %v, want 0", got[len(got)-1].Value)
+	}
+}
+
+func TestWithLabelPrepends(t *testing.T) {
+	in := []GaugeValue{G("m", "", 1, "level", "2")}
+	out := WithLabel(in, "scheme", "W-BOX")
+	if got, want := out[0].LabelString(), `{scheme="W-BOX",level="2"}`; got != want {
+		t.Errorf("labels = %q, want %q", got, want)
+	}
+	if len(in[0].Labels) != 1 {
+		t.Error("WithLabel mutated its input")
+	}
+}
+
+// TestExpositionSingleTypePerFamily loads a registry with two collectors
+// that report the same gauge families (as two schemes sharing a registry
+// do) and checks the exposition announces each family exactly once —
+// duplicate # TYPE lines are rejected by Prometheus parsers.
+func TestExpositionSingleTypePerFamily(t *testing.T) {
+	r := NewRegistry()
+	for _, scheme := range []string{"W-BOX", "B-BOX"} {
+		scheme := scheme
+		r.RegisterCollector(CollectorFunc(func() []GaugeValue {
+			return WithLabel([]GaugeValue{
+				G("boxes_tree_height", "Tree height.", 2),
+				G("boxes_labels_live", "Live labels.", 10),
+			}, "scheme", scheme)
+		}))
+	}
+	text := r.String()
+
+	seen := map[string]int{}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			seen[strings.Fields(line)[2]]++
+		}
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Errorf("family %s announced %d times", name, n)
+		}
+	}
+	// Both schemes' samples must survive the grouping.
+	for _, want := range []string{
+		`boxes_tree_height{scheme="W-BOX"} 2`,
+		`boxes_tree_height{scheme="B-BOX"} 2`,
+		`boxes_labels_live{scheme="W-BOX"} 10`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSnapshotCarriesGauges(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCollector(CollectorFunc(func() []GaugeValue {
+		return []GaugeValue{G("g", "", 7)}
+	}))
+	snap := r.Snapshot()
+	if len(snap.Gauges) != 1 || snap.Gauges[0].Value != 7 {
+		t.Fatalf("snapshot gauges = %+v", snap.Gauges)
+	}
+}
+
+func TestSortGauges(t *testing.T) {
+	gs := []GaugeValue{
+		G("b", "", 1, "scheme", "z"),
+		G("a", "", 1),
+		G("b", "", 1, "scheme", "a"),
+	}
+	SortGauges(gs)
+	if gs[0].Name != "a" || gs[1].Key() != `b{scheme="a"}` || gs[2].Key() != `b{scheme="z"}` {
+		t.Errorf("order = %v %v %v", gs[0].Key(), gs[1].Key(), gs[2].Key())
+	}
+}

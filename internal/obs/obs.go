@@ -206,8 +206,9 @@ type Registry struct {
 	ops      [numOps]opSeries
 	hooks    atomic.Pointer[[]TraceHook]
 
-	mu      sync.Mutex
-	schemes []string // scheme names of the stores reporting here
+	mu         sync.Mutex
+	schemes    []string    // scheme names of the stores reporting here
+	collectors []Collector // scrape-time gauge sources (RegisterCollector)
 }
 
 // NewRegistry creates an empty registry.

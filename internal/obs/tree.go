@@ -1,0 +1,74 @@
+package obs
+
+import "strconv"
+
+// TreeStats accumulates per-level structural statistics during one health
+// walk of a tree structure (W-BOX, B-BOX). Centralizing the aggregation
+// here keeps the gauge family names — and therefore the dashboards —
+// identical across structures; the core layer distinguishes them with a
+// scheme label.
+type TreeStats struct {
+	nodes     []int       // node count per level (0 = leaves)
+	occ       [][]float64 // occupancy ratios per level
+	slack     []uint64    // min balance slack per level
+	haveSlack []bool
+	errs      int // blocks the walk failed to read
+}
+
+// NewTreeStats creates an accumulator for a tree of the given height.
+func NewTreeStats(height int) *TreeStats {
+	return &TreeStats{
+		nodes:     make([]int, height),
+		occ:       make([][]float64, height),
+		slack:     make([]uint64, height),
+		haveSlack: make([]bool, height),
+	}
+}
+
+// Observe records one node: its level (leaves at 0), fill ratio, and —
+// when haveSlack — its distance to the nearest split/merge threshold.
+// The per-level slack gauge keeps the minimum, the tightest node.
+func (t *TreeStats) Observe(level int, occupancy float64, slack uint64, haveSlack bool) {
+	if level < 0 || level >= len(t.nodes) {
+		t.errs++
+		return
+	}
+	t.nodes[level]++
+	t.occ[level] = append(t.occ[level], occupancy)
+	if haveSlack && (!t.haveSlack[level] || slack < t.slack[level]) {
+		t.slack[level] = slack
+		t.haveSlack[level] = true
+	}
+}
+
+// AddError records a block the walk could not read; the resulting gauges
+// are partial and boxes_health_walk_errors says so.
+func (t *TreeStats) AddError() { t.errs++ }
+
+// Errors reports how many blocks the walk failed to read.
+func (t *TreeStats) Errors() int { return t.errs }
+
+// Gauges renders the accumulated statistics as the shared tree-health
+// families: boxes_tree_nodes, boxes_node_occupancy (bucketed), and
+// boxes_balance_slack, each with a level label, plus
+// boxes_health_walk_errors.
+func (t *TreeStats) Gauges() []GaugeValue {
+	var gs []GaugeValue
+	for lv := range t.nodes {
+		lvs := strconv.Itoa(lv)
+		gs = append(gs, G("boxes_tree_nodes", "Nodes per tree level (0 = leaves).",
+			float64(t.nodes[lv]), "level", lvs))
+		gs = append(gs, BucketGauges("boxes_node_occupancy",
+			"Per-level distribution of node fill ratios (records or children over capacity).",
+			OccupancyBounds, t.occ[lv], "level", lvs)...)
+		if t.haveSlack[lv] {
+			gs = append(gs, G("boxes_balance_slack",
+				"Minimum per-level distance (in weight or entry units) to a split or merge threshold.",
+				float64(t.slack[lv]), "level", lvs))
+		}
+	}
+	gs = append(gs, G("boxes_health_walk_errors",
+		"Blocks the health walk failed to read (non-zero means partial gauges).",
+		float64(t.errs)))
+	return gs
+}

@@ -1,0 +1,30 @@
+package pager
+
+import "boxes/internal/obs"
+
+// CollectGauges implements obs.Collector for the block store: backend
+// footprint, LRU cache fill, and the cumulative hit ratio (derived from
+// the observer's hit/miss counters, so it reflects the same accounting the
+// paper's caching-on experiments use). Collection reads in-memory state
+// only.
+func (s *Store) CollectGauges() []obs.GaugeValue {
+	gs := []obs.GaugeValue{
+		obs.G("pager_blocks", "Blocks currently allocated in the backend.", float64(s.backend.NumBlocks())),
+	}
+	if s.cache != nil {
+		gs = append(gs,
+			obs.G("pager_cache_blocks", "Blocks held by the global LRU cache.", float64(s.cache.len())),
+			obs.G("pager_cache_capacity", "Capacity of the global LRU cache in blocks.", float64(s.cache.capacity)),
+		)
+	}
+	hits := s.obs.Counter(obs.CtrPagerCacheHits)
+	misses := s.obs.Counter(obs.CtrPagerCacheMisses)
+	if total := hits + misses; total > 0 {
+		gs = append(gs, obs.G("pager_cache_hit_ratio",
+			"Cumulative LRU hit fraction over all cache-eligible reads.",
+			float64(hits)/float64(total)))
+	}
+	return gs
+}
+
+var _ obs.Collector = (*Store)(nil)

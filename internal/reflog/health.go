@@ -1,0 +1,44 @@
+package reflog
+
+import "boxes/internal/obs"
+
+// CollectGauges implements obs.Collector for the modification log: fill
+// level, entry ages in logical-time ticks, and whether the FIFO has ever
+// evicted an entry (once it has, references older than the log window can
+// no longer be repaired and must pay the full lookup cost). Everything is
+// in-memory state; collection costs no I/O.
+func (g *Log) CollectGauges() []obs.GaugeValue {
+	gs := []obs.GaugeValue{
+		obs.G("reflog_entries", "Modifications currently held in the FIFO log.", float64(len(g.entries))),
+		obs.G("reflog_capacity", "Log capacity k (0 = basic caching, timestamps only).", float64(g.k)),
+		obs.G("reflog_last_modified_age", "Logical-time ticks since the last label-changing modification.",
+			float64(g.clock-g.lastMod)),
+	}
+	if len(g.entries) > 0 {
+		gs = append(gs, obs.G("reflog_oldest_entry_age",
+			"Logical-time ticks since the oldest logged modification; the replay window's reach.",
+			float64(g.clock-g.entries[0].Ts)))
+	}
+	dropped := 0.0
+	if g.dropped {
+		dropped = 1
+	}
+	gs = append(gs, obs.G("reflog_dropped",
+		"1 once the FIFO has evicted an entry (references older than the window cannot be repaired).",
+		dropped))
+	return gs
+}
+
+// CollectGauges implements obs.Collector for a cache: the cumulative hit
+// breakdown as gauges, mirroring the Fresh/Replayed/Misses stats fields.
+func (c *Cache) CollectGauges() []obs.GaugeValue {
+	gs := []obs.GaugeValue{
+		obs.G("reflog_lookups_fresh", "Cache lookups answered with a current cached value.", float64(c.Fresh)),
+		obs.G("reflog_lookups_replayed", "Cache lookups repaired by log replay.", float64(c.Replayed)),
+		obs.G("reflog_lookups_missed", "Cache lookups that paid the full I/O cost.", float64(c.Misses)),
+	}
+	return append(gs, c.log.CollectGauges()...)
+}
+
+var _ obs.Collector = (*Log)(nil)
+var _ obs.Collector = (*Cache)(nil)
