@@ -6,16 +6,33 @@ GO ?= go
 # parameters.
 BENCH_FLAGS := -base 2000 -inserts 500 -xmark 1000 -xprime 200
 
-.PHONY: all build test race bench bench-diff bench-baseline microbench check experiments experiments-paper-scale clean
+.PHONY: all build test race bench bench-diff bench-baseline microbench check crash-matrix fsck experiments experiments-paper-scale clean
 
 all: build test
 
-# Everything CI runs: vet, build, and the full test suite under the race
-# detector.
+# Everything the CI check job runs: vet, build, the full test suite (the
+# race and crash-matrix jobs run separately; see those targets).
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
+	$(GO) test ./...
+
+# The whole suite under the race detector, including the concurrent
+# lookups-over-a-recovered-store walk in internal/crashmatrix.
+race:
 	$(GO) test -race ./...
+
+# The crash-point sweep: every scheme, every raw write point of a scripted
+# durable workload, full cuts and torn writes, plus the corruption
+# byte-flip matrix.
+crash-matrix:
+	$(GO) test ./internal/crashmatrix -v
+
+# Build a small store end to end and verify it offline with boxfsck.
+fsck:
+	$(GO) run ./cmd/boxgen -elements 5000 -seed 1 > /tmp/boxes-fsck.xml
+	$(GO) run ./cmd/boxload -scheme wbox -save /tmp/boxes-fsck.box -fsck /tmp/boxes-fsck.xml
+	$(GO) run ./cmd/boxfsck -v /tmp/boxes-fsck.box
 
 build:
 	$(GO) build ./...
@@ -23,9 +40,6 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-
-race:
-	$(GO) test -race ./...
 
 # Machine-readable snapshots: BENCH_<experiment>.json in the working
 # directory, one per update experiment (ops, I/Os per op, latency
@@ -39,6 +53,7 @@ bench-diff: bench
 	$(GO) run ./cmd/benchdiff -threshold 0.25 results/baseline.json BENCH_concentrated.json
 	$(GO) run ./cmd/benchdiff -threshold 0.25 results/baseline-scattered.json BENCH_scattered.json
 	$(GO) run ./cmd/benchdiff -threshold 0.25 results/baseline-xmark.json BENCH_xmark.json
+	$(GO) run ./cmd/benchdiff -threshold 0.25 results/baseline-durable.json BENCH_durable.json
 
 # Regenerate the committed baselines after an intentional performance
 # change (review the diff before committing).
@@ -47,6 +62,7 @@ bench-baseline:
 	mv results/BENCH_concentrated.json results/baseline.json
 	mv results/BENCH_scattered.json results/baseline-scattered.json
 	mv results/BENCH_xmark.json results/baseline-xmark.json
+	mv results/BENCH_durable.json results/baseline-durable.json
 
 microbench:
 	$(GO) test -bench=. -benchmem .

@@ -41,6 +41,7 @@ func (l *lidList) Set(s string) error {
 func main() {
 	var lids lidList
 	check := flag.Bool("check", true, "verify structural invariants")
+	verify := flag.Bool("verify", false, "verify every block checksum and report WAL recovery state")
 	metrics := flag.Bool("metrics", true, "print the store's metrics snapshot (per-phase I/O, check duration, structural counters)")
 	health := flag.Bool("health", false, "walk the structure and print its health gauges (height, occupancy, balance slack, fragmentation)")
 	crash := flag.String("crash", "", "pretty-print a flight-recorder crash dump instead of opening a store")
@@ -74,6 +75,24 @@ func main() {
 	fmt.Printf("height  : %d\n", st.Height())
 	fmt.Printf("bits    : %d per label\n", st.LabelBits())
 	fmt.Printf("blocks  : %d x %d bytes\n", st.Blocks(), fb.BlockSize())
+
+	if *verify {
+		if rec := fb.RecoveryInfo(); rec.Replayed || rec.DiscardedBytes > 0 || rec.SidecarRebuilt {
+			fmt.Printf("recovery: replayed=%v frames=%d discarded=%dB sidecar_rebuilt=%v\n",
+				rec.Replayed, rec.ReplayedFrames, rec.DiscardedBytes, rec.SidecarRebuilt)
+		}
+		bad := 0
+		for id := pager.BlockID(1); id < fb.Bound(); id++ {
+			if err := fb.VerifyBlock(id); err != nil {
+				fmt.Printf("verify  : block %d: %v\n", id, err)
+				bad++
+			}
+		}
+		if bad > 0 {
+			fatal(fmt.Errorf("%d of %d blocks failed checksum verification", bad, fb.Bound()-1))
+		}
+		fmt.Printf("verify  : all %d blocks pass checksum verification\n", fb.Bound()-1)
+	}
 
 	if *check {
 		if err := st.CheckInvariants(); err != nil {
@@ -137,6 +156,18 @@ func printCrashDump(path string) error {
 	fmt.Printf("crash   : %s\n", path)
 	fmt.Printf("time    : %s\n", d.Time.Format(time.RFC3339Nano))
 	fmt.Printf("trigger : %s\n", formatEvent(d.Trigger))
+	if len(d.Tags) > 0 {
+		keys := make([]string, 0, len(d.Tags))
+		for k := range d.Tags {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var parts []string
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s=%s", k, d.Tags[k]))
+		}
+		fmt.Printf("tags    : %s\n", strings.Join(parts, " "))
+	}
 	fmt.Printf("events  : last %d before the failure (oldest first)\n", len(d.Events))
 	for _, e := range d.Events {
 		fmt.Printf("  %s\n", formatEvent(e))

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"boxes/internal/core"
+	"boxes/internal/fsck"
 	"boxes/internal/obs"
 	"boxes/internal/pager"
 	"boxes/internal/query"
@@ -37,6 +38,7 @@ func main() {
 		pattern  = flag.String("pattern", "", "branching pattern, e.g. //open_auction[//bidder/increase][/seller]")
 		check    = flag.Bool("check", true, "verify structural invariants after loading")
 		saveTo   = flag.String("save", "", "persist the labeling store to this file after loading")
+		runFsck  = flag.Bool("fsck", false, "with -save: close the store and run an offline fsck over the file")
 		metrics  = flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (\":0\" picks a port)")
 		crashDir = flag.String("crashdir", "", "write flight-recorder crash dumps to this directory on op errors")
 		linger   = flag.Bool("linger", false, "with -metrics: keep serving after the work until interrupted")
@@ -74,12 +76,17 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown scheme %q", *scheme))
 	}
+	var fb *pager.FileBackend
 	if *saveTo != "" {
-		fb, err := pager.CreateFile(*saveTo, *block)
+		var err error
+		fb, err = pager.CreateFile(*saveTo, *block)
 		if err != nil {
 			fatal(err)
 		}
 		opts.Backend = fb
+	}
+	if *runFsck && *saveTo == "" {
+		fatal(fmt.Errorf("-fsck needs -save (there is no file to check otherwise)"))
 	}
 	if *metrics != "" {
 		opts.Metrics = obs.NewRegistry()
@@ -160,6 +167,23 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("saved   : %s (%d blocks); resume with boxes.OpenExisting\n", *saveTo, st.Blocks())
+		if *runFsck {
+			if err := fb.Close(); err != nil {
+				fatal(err)
+			}
+			rep, err := fsck.Check(*saveTo, fsck.Options{CrashDir: *crashDir})
+			if err != nil {
+				fatal(fmt.Errorf("fsck: %w", err))
+			}
+			for _, p := range rep.Problems {
+				fmt.Printf("fsck    : %s\n", p)
+			}
+			if !rep.Clean() {
+				fatal(fmt.Errorf("fsck: %s is UNCLEAN (%d problems)", *saveTo, len(rep.Problems)))
+			}
+			fmt.Printf("fsck    : clean (%d allocated, %d free, %d orphans)\n",
+				rep.Allocated, rep.FreeCount, len(rep.Orphans))
+		}
 	}
 
 	if *metrics != "" {

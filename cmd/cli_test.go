@@ -28,7 +28,7 @@ func TestMain(m *testing.M) {
 		panic(err)
 	}
 	binDir = dir
-	for _, tool := range []string{"boxgen", "boxload", "boxinspect", "boxbench", "benchdiff"} {
+	for _, tool := range []string{"boxgen", "boxload", "boxinspect", "boxbench", "benchdiff", "boxfsck"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "boxes/cmd/"+tool)
 		cmd.Stderr = os.Stderr
 		if err := cmd.Run(); err != nil {
@@ -147,6 +147,90 @@ func TestInspectCrashDump(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("boxinspect -crash missing %q:\n%s", want, out)
 		}
+	}
+
+	// A tagged stage-failure dump (crash-matrix and fsck write these) must
+	// surface its tags.
+	fr.DumpFailure("recovery", errors.New("store did not come back clean"),
+		map[string]string{"crash_point": "17", "torn": "true", "scheme": "B-BOX"})
+	out = run(t, "boxinspect", "-crash", fr.LastDump())
+	for _, want := range []string{
+		"trigger : recovery",
+		"tags    : crash_point=17 scheme=B-BOX torn=true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("boxinspect -crash (tagged) missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFsckCLI saves a store (with boxload's own post-save fsck), checks it
+// with boxfsck and boxinspect -verify, then flips a byte and checks both
+// tools catch the corruption with the right exit codes.
+func TestFsckCLI(t *testing.T) {
+	dir := t.TempDir()
+	xml := filepath.Join(dir, "doc.xml")
+	gen := run(t, "boxgen", "-elements", "1200", "-seed", "11")
+	if err := os.WriteFile(xml, []byte(gen), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	box := filepath.Join(dir, "labels.box")
+	out := run(t, "boxload", "-scheme", "wbox", "-save", box, "-fsck", xml)
+	if !strings.Contains(out, "fsck    : clean") {
+		t.Fatalf("boxload -fsck did not report clean:\n%s", out)
+	}
+
+	out = run(t, "boxfsck", "-v", box)
+	if !strings.Contains(out, "verdict : clean") {
+		t.Fatalf("boxfsck on a clean store:\n%s", out)
+	}
+	if !strings.Contains(out, "scheme  : W-BOX") {
+		t.Fatalf("boxfsck did not restore the structure:\n%s", out)
+	}
+	out = run(t, "boxinspect", "-verify", box)
+	if !strings.Contains(out, "pass checksum verification") {
+		t.Fatalf("boxinspect -verify on a clean store:\n%s", out)
+	}
+
+	// Flip one bit in block 2 and expect exit 1 plus a block-2 finding.
+	f, err := os.OpenFile(box, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	off := int64(2*8192 + 77)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0x10
+	if _, err := f.WriteAt(buf, off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cmd := exec.Command(filepath.Join(binDir, "boxfsck"), box)
+	outB, _ := cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 1 {
+		t.Errorf("boxfsck on corrupt store: exit %d, want 1:\n%s", code, outB)
+	}
+	if !strings.Contains(string(outB), "block 2") || !strings.Contains(string(outB), "UNCLEAN") {
+		t.Errorf("corruption not described:\n%s", outB)
+	}
+	cmd = exec.Command(filepath.Join(binDir, "boxinspect"), "-verify", box)
+	outB, _ = cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 1 {
+		t.Errorf("boxinspect -verify on corrupt store: exit %d, want 1:\n%s", code, outB)
+	}
+
+	// Unexaminable file: exit 2.
+	junk := filepath.Join(dir, "junk")
+	if err := os.WriteFile(junk, []byte("not a box store"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd = exec.Command(filepath.Join(binDir, "boxfsck"), junk)
+	outB, _ = cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 2 {
+		t.Errorf("boxfsck on junk: exit %d, want 2:\n%s", code, outB)
 	}
 }
 

@@ -82,3 +82,35 @@ func (l *Labeler) healthNode(n *node, level int, isRoot bool, t *obs.TreeStats) 
 }
 
 var _ obs.Collector = (*Labeler)(nil)
+
+// WalkBlocks calls visit for every store block the structure occupies:
+// the LIDF's extents and every tree node reachable from the root. fsck
+// uses it to cross-check on-disk reachability against the free list.
+func (l *Labeler) WalkBlocks(visit func(pager.BlockID) error) error {
+	if err := l.file.WalkBlocks(visit); err != nil {
+		return err
+	}
+	if l.root == pager.NilBlock {
+		return nil
+	}
+	return l.walkNodeBlocks(l.root, visit)
+}
+
+func (l *Labeler) walkNodeBlocks(blk pager.BlockID, visit func(pager.BlockID) error) error {
+	if err := visit(blk); err != nil {
+		return err
+	}
+	n, err := l.readNode(blk)
+	if err != nil {
+		return err
+	}
+	if n.leaf {
+		return nil
+	}
+	for i := range n.ents {
+		if err := l.walkNodeBlocks(n.ents[i].child, visit); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -84,71 +84,79 @@ func (c Config) Scale(f int) Config {
 	return c
 }
 
-// SchemeSpec names a labeling scheme and knows how to instantiate it.
+// SchemeSpec names a labeling scheme and knows how to instantiate it —
+// either over its own in-memory store (New, what the paper's experiments
+// use) or over a caller-provided store (NewOn, what the durable
+// file-backed experiment uses).
 type SchemeSpec struct {
-	Name string
-	New  func(blockSize int) (order.Labeler, *pager.Store, error)
+	Name  string
+	New   func(blockSize int) (order.Labeler, *pager.Store, error)
+	NewOn func(store *pager.Store, blockSize int) (order.Labeler, error)
+}
+
+// memSpec builds a SchemeSpec whose New allocates a fresh MemStore and
+// delegates to newOn.
+func memSpec(name string, newOn func(store *pager.Store, bs int) (order.Labeler, error)) SchemeSpec {
+	return SchemeSpec{
+		Name:  name,
+		NewOn: newOn,
+		New: func(bs int) (order.Labeler, *pager.Store, error) {
+			store := pager.NewMemStore(bs)
+			l, err := newOn(store, bs)
+			return l, store, err
+		},
+	}
 }
 
 // WBoxSpec is the basic W-BOX.
 func WBoxSpec() SchemeSpec {
-	return SchemeSpec{Name: "W-BOX", New: func(bs int) (order.Labeler, *pager.Store, error) {
-		store := pager.NewMemStore(bs)
+	return memSpec("W-BOX", func(store *pager.Store, bs int) (order.Labeler, error) {
 		p, err := wbox.NewParams(bs, wbox.Basic, false)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		l, err := wbox.New(store, p)
-		return l, store, err
-	}}
+		return wbox.New(store, p)
+	})
 }
 
 // WBoxOSpec is W-BOX-O (pair-optimized leaves).
 func WBoxOSpec() SchemeSpec {
-	return SchemeSpec{Name: "W-BOX-O", New: func(bs int) (order.Labeler, *pager.Store, error) {
-		store := pager.NewMemStore(bs)
+	return memSpec("W-BOX-O", func(store *pager.Store, bs int) (order.Labeler, error) {
 		p, err := wbox.NewParams(bs, wbox.PairOptimized, false)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		l, err := wbox.New(store, p)
-		return l, store, err
-	}}
+		return wbox.New(store, p)
+	})
 }
 
 // BBoxSpec is the basic B-BOX.
 func BBoxSpec() SchemeSpec {
-	return SchemeSpec{Name: "B-BOX", New: func(bs int) (order.Labeler, *pager.Store, error) {
-		store := pager.NewMemStore(bs)
+	return memSpec("B-BOX", func(store *pager.Store, bs int) (order.Labeler, error) {
 		p, err := bbox.NewParams(bs, false, false)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		l, err := bbox.New(store, p)
-		return l, store, err
-	}}
+		return bbox.New(store, p)
+	})
 }
 
 // BBoxOSpec is B-BOX-O (ordinal labeling support).
 func BBoxOSpec() SchemeSpec {
-	return SchemeSpec{Name: "B-BOX-O", New: func(bs int) (order.Labeler, *pager.Store, error) {
-		store := pager.NewMemStore(bs)
+	return memSpec("B-BOX-O", func(store *pager.Store, bs int) (order.Labeler, error) {
 		p, err := bbox.NewParams(bs, true, false)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		l, err := bbox.New(store, p)
-		return l, store, err
-	}}
+		return bbox.New(store, p)
+	})
 }
 
 // NaiveSpec is naive-k.
 func NaiveSpec(k int) SchemeSpec {
-	return SchemeSpec{Name: fmt.Sprintf("naive-%d", k), New: func(bs int) (order.Labeler, *pager.Store, error) {
-		store := pager.NewMemStore(bs)
-		l, err := naive.New(store, naive.Config{K: k})
-		return l, store, err
-	}}
+	return memSpec(fmt.Sprintf("naive-%d", k), func(store *pager.Store, bs int) (order.Labeler, error) {
+		return naive.New(store, naive.Config{K: k})
+	})
 }
 
 // UpdateSchemes is the scheme matrix of the update-cost figures.

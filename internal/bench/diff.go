@@ -3,7 +3,26 @@ package bench
 import (
 	"fmt"
 	"reflect"
+	"strings"
 )
+
+// gatedGaugePrefixes are snapshot gauge families benchdiff treats as cost
+// metrics: higher is worse, and a rise beyond the threshold is a
+// regression. pager_wal_* gauges only appear in snapshots taken over a
+// WAL-enabled FileBackend (the durable experiment), where
+// pager_wal_write_amplification is the contract: the committed baseline
+// holds it near 2x, so the default 25% threshold fails any change that
+// pushes physical-write overhead materially past that.
+var gatedGaugePrefixes = []string{"pager_wal_"}
+
+func gaugeGated(key string) bool {
+	for _, p := range gatedGaugePrefixes {
+		if strings.HasPrefix(key, p) {
+			return true
+		}
+	}
+	return false
+}
 
 // Regression is one metric that got worse beyond the diff threshold.
 type Regression struct {
@@ -73,6 +92,14 @@ func Diff(baseline, current SnapshotFile, threshold float64, wallClock bool) ([]
 		if wallClock && old.OpsPerSec > 0 && cur.OpsPerSec < old.OpsPerSec/(1+threshold) {
 			// Lower is worse for throughput.
 			regs = append(regs, Regression{Scheme: cur.Scheme, Metric: "ops_per_sec", Old: old.OpsPerSec, New: cur.OpsPerSec, Ratio: old.OpsPerSec / cur.OpsPerSec})
+		}
+		for key, oldVal := range old.Gauges {
+			if !gaugeGated(key) || oldVal <= 0 {
+				continue
+			}
+			if newVal, ok := cur.Gauges[key]; ok && newVal > oldVal*(1+threshold) {
+				regs = append(regs, Regression{Scheme: cur.Scheme, Metric: key, Old: oldVal, New: newVal, Ratio: newVal / oldVal})
+			}
 		}
 	}
 	return regs, nil

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"boxes/internal/obs"
+	"boxes/internal/pager"
+)
+
+// RunDurable runs the concentrated insertion workload for every scheme
+// over a real FileBackend with checksums and the write-ahead log enabled
+// (fsyncs suppressed, so the I/O *pattern* is measured, not the device).
+// Every labeling operation commits as one WAL transaction, exactly the
+// durability mode core.Options.Durable uses, and the per-scheme gauges
+// include the pager_wal_* family — most importantly
+// pager_wal_write_amplification, the physical-bytes-per-logical-byte
+// overhead benchdiff gates against the committed baseline.
+func RunDurable(cfg Config) ([]SchemeRun, error) {
+	dir, err := os.MkdirTemp("", "boxes-durable")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	var out []SchemeRun
+	for _, spec := range UpdateSchemes(cfg.NaiveKs) {
+		run, err := runDurableScheme(dir, cfg, spec)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		out = append(out, run)
+	}
+	return out, nil
+}
+
+func runDurableScheme(dir string, cfg Config, spec SchemeSpec) (SchemeRun, error) {
+	path := filepath.Join(dir, strings.ReplaceAll(spec.Name, "/", "_")+".box")
+	fb, err := pager.CreateFileOpts(path, pager.FileOptions{BlockSize: cfg.BlockSize, NoSync: true})
+	if err != nil {
+		return SchemeRun{}, err
+	}
+	defer fb.Close()
+	store := pager.NewStore(fb)
+	cfg.attach(spec.Name, store)
+	l, err := spec.NewOn(store, cfg.BlockSize)
+	if err != nil {
+		return SchemeRun{}, err
+	}
+	rec := NewRecorder(store).Observe(cfg.Metrics, spec.Name, obs.OpInsert)
+	if err := Concentrated(l, rec, cfg.BaseElems, cfg.InsertElems); err != nil {
+		return SchemeRun{}, err
+	}
+	run := SchemeRun{
+		Scheme:    spec.Name,
+		AvgIO:     rec.Avg(),
+		TotalIO:   rec.Total(),
+		MaxIO:     rec.Max(),
+		P99IO:     rec.IOPercentile(0.99),
+		Ops:       rec.N(),
+		Height:    l.Height(),
+		LabelBits: l.LabelBits(),
+		Dist:      rec.CCDF(),
+		OpsPerSec: rec.OpsPerSec(),
+		P50Ns:     rec.LatencyPercentile(0.50),
+		P99Ns:     rec.LatencyPercentile(0.99),
+	}
+	if c, ok := l.(obs.Collector); ok {
+		run.Gauges = obs.WithLabel(c.CollectGauges(), "scheme", spec.Name)
+	}
+	// The store-level gauges carry the durability costs (pager_wal_*).
+	run.Gauges = append(run.Gauges, obs.WithLabel(store.CollectGauges(), "scheme", spec.Name)...)
+	return run, nil
+}
+
+// Durable prints the durable-backend overhead table: per-scheme update
+// cost over a WAL-enabled FileBackend plus the WAL's own I/O accounting.
+func Durable(w io.Writer, cfg Config) error {
+	runs, err := RunDurable(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Durable update cost (concentrated workload, FileBackend + WAL + checksums)\n")
+	fmt.Fprintf(w, "base=%d inserts=%d block=%d\n\n", cfg.BaseElems, cfg.InsertElems, cfg.BlockSize)
+	fmt.Fprintf(w, "%-10s %8s %8s %8s %10s %10s %8s\n",
+		"scheme", "ops", "avg I/O", "p99 I/O", "WAL txns", "WAL MiB", "amp")
+	for _, r := range runs {
+		gauges := gaugeMap(r.Gauges)
+		fmt.Fprintf(w, "%-10s %8d %8.2f %8d %10.0f %10.2f %8.2f\n",
+			r.Scheme, r.Ops, r.AvgIO, r.P99IO,
+			gaugeFor(gauges, "pager_wal_commits"),
+			gaugeFor(gauges, "pager_wal_bytes")/(1<<20),
+			gaugeFor(gauges, "pager_wal_write_amplification"))
+	}
+	return nil
+}
+
+func gaugeMap(gs []obs.GaugeValue) map[string]float64 {
+	m := make(map[string]float64, len(gs))
+	for _, g := range gs {
+		m[g.Key()] = g.Value
+	}
+	return m
+}
+
+// gaugeFor finds a gauge by name prefix in a flattened key map (keys carry
+// rendered labels, e.g. `pager_wal_commits{scheme="W-BOX"}`).
+func gaugeFor(m map[string]float64, name string) float64 {
+	for k, v := range m {
+		if k == name || strings.HasPrefix(k, name+"{") {
+			return v
+		}
+	}
+	return 0
+}

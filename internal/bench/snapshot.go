@@ -136,9 +136,9 @@ func ReadSnapshotFile(path string) (SnapshotFile, error) {
 	return s, nil
 }
 
-// WriteBenchSnapshots runs the three update experiments (concentrated,
-// scattered, xmark) and writes one BENCH_<experiment>.json each into dir.
-// It returns the paths written.
+// WriteBenchSnapshots runs the update experiments (concentrated,
+// scattered, xmark, plus the WAL-enabled durable run) and writes one
+// BENCH_<experiment>.json each into dir. It returns the paths written.
 func WriteBenchSnapshots(dir string, cfg Config) ([]string, error) {
 	type exp struct {
 		name string
@@ -148,6 +148,7 @@ func WriteBenchSnapshots(dir string, cfg Config) ([]string, error) {
 		{"concentrated", RunConcentrated},
 		{"scattered", RunScattered},
 		{"xmark", RunXMark},
+		{"durable", RunDurable},
 	}
 	var paths []string
 	for _, e := range exps {

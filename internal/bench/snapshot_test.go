@@ -3,6 +3,7 @@ package bench
 import (
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -145,9 +146,10 @@ func TestWriteBenchSnapshots(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(paths) != 3 {
-		t.Fatalf("wrote %d snapshots, want 3: %v", len(paths), paths)
+	if len(paths) != 4 {
+		t.Fatalf("wrote %d snapshots, want 4: %v", len(paths), paths)
 	}
+	sawWALGauge := false
 	for _, path := range paths {
 		s, err := ReadSnapshotFile(path)
 		if err != nil {
@@ -163,9 +165,17 @@ func TestWriteBenchSnapshots(t *testing.T) {
 			if len(sc.Gauges) == 0 {
 				t.Errorf("%s: %s: no final structural gauges", path, sc.Scheme)
 			}
+			for key := range sc.Gauges {
+				if strings.HasPrefix(key, "pager_wal_") {
+					sawWALGauge = true
+				}
+			}
 		}
 		if regs, err := Diff(s, s, 0.25, true); err != nil || len(regs) != 0 {
 			t.Errorf("%s: self-diff: regs=%v err=%v", path, regs, err)
 		}
+	}
+	if !sawWALGauge {
+		t.Error("durable snapshot carries no pager_wal_* gauges for the diff gate")
 	}
 }

@@ -90,6 +90,17 @@ type Options struct {
 	// Backend overrides the block store backend (default: in-memory).
 	Backend pager.Backend
 
+	// Durable makes every mutating operation crash-atomic: the operation is
+	// wrapped in a single pager transaction and the store's metadata blob
+	// (scheme roots, counters, LIDF extents) is re-persisted inside that
+	// same transaction, so after a power cut OpenExisting resumes at an
+	// exact operation boundary with no separate Save needed. Requires a
+	// backend that supports atomic batches and metadata persistence
+	// (FileBackend with its write-ahead log). Costs one blob rewrite per
+	// update; with naive-k the blob grows with the document, so durable
+	// naive stores pay proportionally more.
+	Durable bool
+
 	// Metrics routes the store's measurements into an existing registry,
 	// so several stores (e.g. one per scheme in a benchmark) can share one
 	// exposition endpoint. When nil the store creates its own registry;
@@ -191,6 +202,18 @@ func Open(opts Options) (*Store, error) {
 		return nil, fmt.Errorf("core: unknown scheme %v", opts.Scheme)
 	}
 
+	if opts.Durable {
+		if _, ok := backend.(pager.TxBackend); !ok {
+			return nil, errors.New("core: Durable requires a backend with atomic batches (pager.TxBackend)")
+		}
+		if _, ok := backend.(pager.MetaRooter); !ok {
+			return nil, errors.New("core: Durable requires a backend that persists metadata (pager.MetaRooter)")
+		}
+		if _, ok := labeler.(metaMarshaler); !ok {
+			return nil, fmt.Errorf("core: scheme %v cannot persist metadata", opts.Scheme)
+		}
+	}
+
 	s := &Store{opts: opts, store: store, labeler: labeler, reg: reg, schemeName: opts.Scheme.String(), flight: flight}
 	if opts.Caching != CachingOff {
 		k := 0
@@ -260,6 +283,26 @@ func (s *Store) end(c obs.OpCtx, err error) {
 	s.reg.End(c, st.Reads, st.Writes, err)
 }
 
+// durable runs one mutating operation. With Options.Durable it opens an
+// outer pager operation, runs fn, re-persists the metadata blob, and ends
+// the operation — so the structural writes, the metadata, and the meta
+// root all land in one atomic backend transaction. Without Durable it
+// just runs fn.
+func (s *Store) durable(fn func() error) error {
+	if !s.opts.Durable {
+		return fn()
+	}
+	s.store.BeginOp()
+	err := fn()
+	if err == nil {
+		err = s.persistMeta()
+	}
+	if e := s.store.EndOp(); err == nil {
+		err = e
+	}
+	return err
+}
+
 // Stats returns the block I/O counters accumulated so far.
 func (s *Store) Stats() pager.IOStats { return s.store.Stats() }
 
@@ -324,7 +367,11 @@ func (s *Store) lookupSpan(e order.ElemLIDs) (query.Span, error) {
 // child if it is an end label).
 func (s *Store) InsertElementBefore(lidOld order.LID) (order.ElemLIDs, error) {
 	c := s.begin(obs.OpInsert)
-	e, err := s.labeler.InsertElementBefore(lidOld)
+	var e order.ElemLIDs
+	err := s.durable(func() (err error) {
+		e, err = s.labeler.InsertElementBefore(lidOld)
+		return err
+	})
 	s.end(c, err)
 	return e, err
 }
@@ -332,7 +379,11 @@ func (s *Store) InsertElementBefore(lidOld order.LID) (order.ElemLIDs, error) {
 // InsertFirstElement bootstraps an empty document.
 func (s *Store) InsertFirstElement() (order.ElemLIDs, error) {
 	c := s.begin(obs.OpInsert)
-	e, err := s.labeler.InsertFirstElement()
+	var e order.ElemLIDs
+	err := s.durable(func() (err error) {
+		e, err = s.labeler.InsertFirstElement()
+		return err
+	})
 	s.end(c, err)
 	return e, err
 }
@@ -340,7 +391,9 @@ func (s *Store) InsertFirstElement() (order.ElemLIDs, error) {
 // Delete removes one label.
 func (s *Store) Delete(lid order.LID) error {
 	c := s.begin(obs.OpDelete)
-	err := s.labeler.Delete(lid)
+	err := s.durable(func() error {
+		return s.labeler.Delete(lid)
+	})
 	s.end(c, err)
 	return err
 }
@@ -349,10 +402,12 @@ func (s *Store) Delete(lid order.LID) error {
 // children of its parent).
 func (s *Store) DeleteElement(e order.ElemLIDs) error {
 	c := s.begin(obs.OpDelete)
-	err := s.labeler.Delete(e.Start)
-	if err == nil {
-		err = s.labeler.Delete(e.End)
-	}
+	err := s.durable(func() error {
+		if err := s.labeler.Delete(e.Start); err != nil {
+			return err
+		}
+		return s.labeler.Delete(e.End)
+	})
 	s.end(c, err)
 	return err
 }
@@ -360,7 +415,9 @@ func (s *Store) DeleteElement(e order.ElemLIDs) error {
 // DeleteSubtree removes an element and all its descendants.
 func (s *Store) DeleteSubtree(e order.ElemLIDs) error {
 	c := s.begin(obs.OpSubtreeDelete)
-	err := s.labeler.DeleteSubtree(e.Start, e.End)
+	err := s.durable(func() error {
+		return s.labeler.DeleteSubtree(e.Start, e.End)
+	})
 	s.end(c, err)
 	return err
 }
@@ -369,7 +426,11 @@ func (s *Store) DeleteSubtree(e order.ElemLIDs) error {
 // the tag identified by lidOld.
 func (s *Store) InsertSubtreeBefore(lidOld order.LID, tree *xmlgen.Tree) ([]order.ElemLIDs, error) {
 	c := s.begin(obs.OpSubtreeInsert)
-	elems, err := s.labeler.InsertSubtreeBefore(lidOld, tree.TagStream())
+	var elems []order.ElemLIDs
+	err := s.durable(func() (err error) {
+		elems, err = s.labeler.InsertSubtreeBefore(lidOld, tree.TagStream())
+		return err
+	})
 	s.end(c, err)
 	return elems, err
 }
@@ -438,7 +499,11 @@ func (s *Store) Load(tree *xmlgen.Tree) (*Document, error) {
 		return nil, errors.New("core: empty tree")
 	}
 	c := s.begin(obs.OpBulkLoad)
-	elems, err := s.labeler.BulkLoad(tree.TagStream())
+	var elems []order.ElemLIDs
+	err := s.durable(func() (err error) {
+		elems, err = s.labeler.BulkLoad(tree.TagStream())
+		return err
+	})
 	s.end(c, err)
 	if err != nil {
 		return nil, err

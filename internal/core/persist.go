@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 
+	"boxes/internal/obs"
 	"boxes/internal/pager"
 )
 
@@ -25,9 +26,30 @@ var ErrNoSavedStore = errors.New("core: backend holds no saved store")
 
 // Save persists the store's metadata to the backend so that OpenExisting
 // can resume it later. The backend must implement pager.MetaRooter
-// (FileBackend does; MemBackend too, for tests). On a FileBackend the file
-// is also synced.
+// (FileBackend does; MemBackend too, for tests). The blob is written
+// inside one pager operation, so on a WAL-enabled FileBackend the whole
+// save is a single atomic transaction; on a FileBackend the file is also
+// synced. With Options.Durable every mutating operation already persists
+// metadata, so explicit Saves are only needed for non-durable stores.
 func (s *Store) Save() error {
+	s.store.BeginOp()
+	err := s.persistMeta()
+	if e := s.store.EndOp(); err == nil {
+		err = e
+	}
+	if err != nil {
+		return err
+	}
+	if fb, ok := s.store.Backend().(*pager.FileBackend); ok {
+		return fb.Sync()
+	}
+	return nil
+}
+
+// persistMeta rewrites the metadata blob and repoints the backend's meta
+// root at it. It must run inside an open pager operation; all of its
+// writes stage into the surrounding transaction.
+func (s *Store) persistMeta() error {
 	mr, ok := s.store.Backend().(pager.MetaRooter)
 	if !ok {
 		return errors.New("core: backend cannot persist metadata")
@@ -57,20 +79,33 @@ func (s *Store) Save() error {
 	if err != nil {
 		return err
 	}
-	if err := mr.SetMetaRoot(head); err != nil {
-		return err
-	}
-	if fb, ok := s.store.Backend().(*pager.FileBackend); ok {
-		return fb.Sync()
-	}
-	return nil
+	return mr.SetMetaRoot(head)
 }
 
-// OpenExisting resumes a store previously persisted with Save. Structural
-// options (scheme, block size, variant flags) come from the saved
-// metadata; only runtime options (caching mode, LRU size) are taken from
-// runtime.
+// OpenExisting resumes a store previously persisted with Save (or by a
+// Durable store's per-op metadata commits). Structural options (scheme,
+// block size, variant flags) come from the saved metadata; only runtime
+// options (caching mode, LRU size, durability, crash dir) are taken from
+// runtime. When runtime.CrashDir is set, a failure to resume — corrupt
+// metadata, a scheme that cannot restore, invariant-violating state —
+// writes a flight-recorder dump tagged stage=open-existing before the
+// error returns, so a failed recovery leaves an actionable artifact.
 func OpenExisting(backend pager.Backend, runtime Options) (*Store, error) {
+	st, err := openExisting(backend, runtime)
+	if err != nil && runtime.CrashDir != "" {
+		reg := runtime.Metrics
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		fr := obs.NewFlightRecorder(reg, runtime.CrashDir, runtime.CrashRing)
+		fr.DumpFailure("open-existing", err, map[string]string{
+			"stage": "open-existing",
+		})
+	}
+	return st, err
+}
+
+func openExisting(backend pager.Backend, runtime Options) (*Store, error) {
 	mr, ok := backend.(pager.MetaRooter)
 	if !ok {
 		return nil, errors.New("core: backend cannot persist metadata")
@@ -127,8 +162,11 @@ func OpenExisting(backend pager.Backend, runtime Options) (*Store, error) {
 		LogK:          runtime.LogK,
 		CacheBlocks:   runtime.CacheBlocks,
 		Backend:       backend,
+		Durable:       runtime.Durable,
 		Metrics:       runtime.Metrics,
 		TraceHooks:    runtime.TraceHooks,
+		CrashDir:      runtime.CrashDir,
+		CrashRing:     runtime.CrashRing,
 	}
 	st, err := Open(opts)
 	if err != nil {

@@ -1,6 +1,9 @@
 package lidf
 
-import "boxes/internal/obs"
+import (
+	"boxes/internal/obs"
+	"boxes/internal/pager"
+)
 
 // CollectGauges implements obs.Collector: the LIDF's health is entirely
 // in-memory bookkeeping (extent count, allocation high-water mark, live
@@ -24,3 +27,14 @@ func (f *File) CollectGauges() []obs.GaugeValue {
 }
 
 var _ obs.Collector = (*File)(nil)
+
+// WalkBlocks calls visit for every store block the file occupies, in
+// logical order. fsck uses it to mark the LIDF's blocks reachable.
+func (f *File) WalkBlocks(visit func(pager.BlockID) error) error {
+	for _, blk := range f.extents {
+		if err := visit(blk); err != nil {
+			return err
+		}
+	}
+	return nil
+}

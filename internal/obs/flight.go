@@ -53,11 +53,16 @@ func toEventRecord(re RingEvent) EventRecord {
 type CrashDump struct {
 	Version int           `json:"version"`
 	Time    time.Time     `json:"time"`
-	Trigger EventRecord   `json:"trigger"`       // the operation that failed
-	Events  []EventRecord `json:"recent_events"` // ring contents, oldest first
-	Metrics Snapshot      `json:"metrics"`       // full registry snapshot
-	Gauges  []GaugeValue  `json:"gauges"`        // structural health at dump time
+	Trigger EventRecord   `json:"trigger"`        // the operation that failed
+	Tags    StringMap     `json:"tags,omitempty"` // caller-supplied context (crash point, stage, ...)
+	Events  []EventRecord `json:"recent_events"`  // ring contents, oldest first
+	Metrics Snapshot      `json:"metrics"`        // full registry snapshot
+	Gauges  []GaugeValue  `json:"gauges"`         // structural health at dump time
 }
+
+// StringMap is a plain string-to-string map; the alias keeps the CrashDump
+// schema self-describing.
+type StringMap = map[string]string
 
 // crashDumpVersion is bumped whenever the CrashDump schema changes shape.
 const crashDumpVersion = 1
@@ -129,10 +134,24 @@ func (f *FlightRecorder) OpEnd(ev Event) {
 	if ev.Err == nil {
 		return
 	}
-	f.dump(ev)
+	f.dump(ev, nil)
 }
 
-func (f *FlightRecorder) dump(ev Event) {
+// DumpFailure writes a crash dump for a failure that is not a traced
+// operation — a WAL recovery that errored at open, an fsck run that found
+// problems, a crash-matrix reopen that did not come back clean. The stage
+// names the phase ("recovery", "fsck", ...), err is the failure, and tags
+// carry whatever context makes the dump actionable (crash point, torn
+// flag, scheme, store path). Dumps count against the same limit as
+// operation-failure dumps.
+func (f *FlightRecorder) DumpFailure(stage string, err error, tags map[string]string) {
+	if err == nil {
+		return
+	}
+	f.dump(Event{Scheme: stage, Op: OpCheck, Err: err}, tags)
+}
+
+func (f *FlightRecorder) dump(ev Event, tags map[string]string) {
 	f.mu.Lock()
 	if f.limit >= 0 && f.dumps >= f.limit {
 		f.mu.Unlock()
@@ -152,6 +171,7 @@ func (f *FlightRecorder) dump(ev Event) {
 		Version: crashDumpVersion,
 		Time:    time.Now(),
 		Trigger: toEventRecord(RingEvent{Event: ev}),
+		Tags:    tags,
 		Events:  recs,
 		Metrics: snap,
 		Gauges:  snap.Gauges,

@@ -109,6 +109,13 @@ const (
 	// CtrPagerInjectedFailures counts failures injected by a FlakyBackend,
 	// so fault-injection runs are observable.
 	CtrPagerInjectedFailures
+	// CtrPagerWALCommits counts write-ahead log transactions committed.
+	CtrPagerWALCommits
+	// CtrPagerWALFrames counts block images appended to the write-ahead log.
+	CtrPagerWALFrames
+	// CtrPagerChecksumFailures counts blocks whose CRC32-C did not match
+	// their contents on read — detected corruption.
+	CtrPagerChecksumFailures
 	// CtrReflogHits counts cache lookups answered fresh (Section 6).
 	CtrReflogHits
 	// CtrReflogRepairs counts cache lookups repaired by log replay.
@@ -137,6 +144,9 @@ var counterNames = [numCounters]string{
 	CtrPagerCacheMisses:      "pager_cache_misses_total",
 	CtrPagerIOErrors:         "pager_io_errors_total",
 	CtrPagerInjectedFailures: "pager_injected_failures_total",
+	CtrPagerWALCommits:       "pager_wal_commits_total",
+	CtrPagerWALFrames:        "pager_wal_frames_total",
+	CtrPagerChecksumFailures: "pager_checksum_failures_total",
 	CtrReflogHits:            "reflog_cache_hits_total",
 	CtrReflogRepairs:         "reflog_cache_repairs_total",
 	CtrReflogMisses:          "reflog_cache_misses_total",

@@ -84,6 +84,25 @@ func (s *Store) ReadBlob(head BlockID) ([]byte, error) {
 	return out, nil
 }
 
+// BlobBlocks returns the block IDs of a blob chain in order, without
+// freeing or copying the payload. fsck uses it to mark the metadata blob's
+// blocks reachable.
+func (s *Store) BlobBlocks(head BlockID) ([]BlockID, error) {
+	var out []BlockID
+	for id := head; id != NilBlock; {
+		if len(out) > 1<<24 {
+			return nil, errors.New("pager: blob chain too long (cycle?)")
+		}
+		out = append(out, id)
+		buf, err := s.Read(id)
+		if err != nil {
+			return out, err
+		}
+		id = BlockID(binary.LittleEndian.Uint64(buf[0:8]))
+	}
+	return out, nil
+}
+
 // FreeBlob releases a blob chain.
 func (s *Store) FreeBlob(head BlockID) error {
 	for id := head; id != NilBlock; {

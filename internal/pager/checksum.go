@@ -1,0 +1,51 @@
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Block checksums use CRC32-C (Castagnoli), the polynomial with hardware
+// support on every platform Go targets and the one used by iSCSI, ext4 and
+// Btrfs for exactly this job: catching torn writes and bit rot on fixed
+// size pages.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// checksum computes the CRC32-C of a block image.
+func checksum(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
+
+// ErrCorrupt is the sentinel all corruption detections wrap: a block whose
+// checksum does not match its contents, a header that disagrees with the
+// file, or a write-ahead log whose committed frames cannot be replayed.
+// Callers match it with errors.Is and recover the block ID (if any) with
+// errors.As on *CorruptError.
+var ErrCorrupt = errors.New("pager: corruption detected")
+
+// CorruptError reports a specific corrupted region of a store file. It
+// wraps ErrCorrupt, so errors.Is(err, ErrCorrupt) matches.
+type CorruptError struct {
+	Block  BlockID // corrupted block, NilBlock when the region is not a block
+	Region string  // "block", "header", "wal", "checksum-file"
+	Detail string
+}
+
+func (e *CorruptError) Error() string {
+	if e.Block != NilBlock {
+		return fmt.Sprintf("pager: corrupt %s (block %d): %s", e.Region, e.Block, e.Detail)
+	}
+	return fmt.Sprintf("pager: corrupt %s: %s", e.Region, e.Detail)
+}
+
+// Unwrap makes errors.Is(err, ErrCorrupt) hold.
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+// corruptBlock builds a block-level corruption error.
+func corruptBlock(id BlockID, format string, args ...any) error {
+	return &CorruptError{Block: id, Region: "block", Detail: fmt.Sprintf(format, args...)}
+}
+
+// corruptRegion builds a non-block corruption error.
+func corruptRegion(region, format string, args ...any) error {
+	return &CorruptError{Region: region, Detail: fmt.Sprintf(format, args...)}
+}

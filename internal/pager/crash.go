@@ -1,0 +1,266 @@
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ErrCrashed is returned by every operation of a crashed CrashBackend or
+// CrashController: the simulated machine lost power, so nothing succeeds
+// until the store file is reopened by a fresh process.
+var ErrCrashed = errors.New("pager: simulated power cut")
+
+// ---------------------------------------------------------------------------
+// File-level crash injection (every raw write of a FileBackend is a point).
+// ---------------------------------------------------------------------------
+
+// blockFile is the raw file surface FileBackend performs I/O through.
+// *os.File implements it; a CrashController wraps it to simulate power
+// cuts at precise write points.
+type blockFile interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+// CrashController simulates a power cut underneath a FileBackend. Every
+// raw write the backend performs — WAL frame appends, commit records,
+// in-place block applies, header and checksum updates, WAL truncations —
+// counts as one write point, in deterministic order. At the configured
+// point the write is cut short (persisting only a prefix when Torn) and
+// from then on every file operation fails with ErrCrashed, exactly as if
+// the machine died: whatever reached the file stays, nothing else does.
+//
+// Attach one controller to a FileBackend via FileOptions.CrashControl,
+// run a workload until ErrCrashed surfaces, drop the backend, and reopen
+// the path with a plain OpenFile to exercise recovery. With CrashAt = 0
+// the controller never fires and simply counts write points, which is how
+// a crash-matrix harness discovers the sweep range.
+type CrashController struct {
+	mu      sync.Mutex
+	crashAt int  // 1-based write point that dies; 0 = never
+	torn    bool // the dying write persists only its first half
+	writes  int
+	crashed bool
+}
+
+// NewCrashController returns a controller that cuts power at the crashAt-th
+// raw write (0 = never crash, only count). With torn set, the fatal write
+// persists only the first half of its buffer — a torn sector write.
+func NewCrashController(crashAt int, torn bool) *CrashController {
+	return &CrashController{crashAt: crashAt, torn: torn}
+}
+
+// Writes reports how many raw write points have been attempted so far.
+func (c *CrashController) Writes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes
+}
+
+// Crashed reports whether the power cut has fired.
+func (c *CrashController) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// step charges one write point and reports how to treat the write:
+// ok (full write), torn (persist a prefix then die), or dead (already
+// crashed, nothing persists).
+func (c *CrashController) step() (torn, dead bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return false, true
+	}
+	c.writes++
+	if c.crashAt > 0 && c.writes == c.crashAt {
+		c.crashed = true
+		return c.torn, false
+	}
+	return false, false
+}
+
+func (c *CrashController) dead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// crashFile routes one file's I/O through a CrashController.
+type crashFile struct {
+	f    blockFile
+	ctrl *CrashController
+}
+
+func (cf *crashFile) ReadAt(p []byte, off int64) (int, error) {
+	if cf.ctrl.dead() {
+		return 0, ErrCrashed
+	}
+	return cf.f.ReadAt(p, off)
+}
+
+func (cf *crashFile) WriteAt(p []byte, off int64) (int, error) {
+	torn, dead := cf.ctrl.step()
+	if dead {
+		return 0, ErrCrashed
+	}
+	if torn {
+		// Persist only the first half of the buffer, then die: the classic
+		// torn page write a checksum must catch.
+		if n := len(p) / 2; n > 0 {
+			cf.f.WriteAt(p[:n], off)
+		}
+		return 0, fmt.Errorf("%w (torn write of %d bytes at offset %d)", ErrCrashed, len(p), off)
+	}
+	if cf.ctrl.dead() { // this write was the crash point (full cut)
+		return 0, fmt.Errorf("%w (write of %d bytes at offset %d)", ErrCrashed, len(p), off)
+	}
+	return cf.f.WriteAt(p, off)
+}
+
+func (cf *crashFile) Truncate(size int64) error {
+	_, dead := cf.ctrl.step()
+	if dead || cf.ctrl.dead() {
+		return ErrCrashed
+	}
+	return cf.f.Truncate(size)
+}
+
+func (cf *crashFile) Sync() error {
+	if cf.ctrl.dead() {
+		return ErrCrashed
+	}
+	return cf.f.Sync()
+}
+
+// Close always closes the real file: the harness reopens the path with a
+// fresh backend, so descriptors must not leak even after a simulated cut.
+func (cf *crashFile) Close() error { return cf.f.Close() }
+
+// ---------------------------------------------------------------------------
+// Backend-level crash injection (sibling of FlakyBackend).
+// ---------------------------------------------------------------------------
+
+// CrashBackend wraps a Backend and simulates a power cut at the i-th
+// block write: the fatal write optionally persists only a torn half block,
+// and every operation after it — reads included — fails with ErrCrashed.
+// It is FlakyBackend's deterministic sibling: FlakyBackend models a
+// transient device that keeps limping along, CrashBackend models a machine
+// that dies mid-operation and must be restarted.
+//
+// Over a MemBackend it verifies that the structures surface a mid-flush
+// power cut cleanly; over a FileBackend opened with NoWAL it demonstrates
+// (and lets tests assert) the torn on-disk state a write-ahead log
+// prevents. Torn mode writes through to the inner backend, so it must not
+// be combined with a WAL-enabled FileBackend, whose own batching would
+// commit the torn image atomically and mask the tear; use a
+// CrashController for intra-commit crash points instead.
+type CrashBackend struct {
+	Inner   Backend
+	CrashAt int  // 1-based write that dies; 0 = never
+	Torn    bool // the fatal write persists a half-block prefix
+
+	mu      sync.Mutex
+	writes  int
+	crashed bool
+}
+
+// NewCrashBackend wraps inner, cutting power at the crashAt-th WriteBlock.
+func NewCrashBackend(inner Backend, crashAt int, torn bool) *CrashBackend {
+	return &CrashBackend{Inner: inner, CrashAt: crashAt, Torn: torn}
+}
+
+// Writes reports the number of block writes attempted so far.
+func (c *CrashBackend) Writes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes
+}
+
+// Crashed reports whether the power cut has fired.
+func (c *CrashBackend) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+func (c *CrashBackend) alive() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// BlockSize implements Backend.
+func (c *CrashBackend) BlockSize() int { return c.Inner.BlockSize() }
+
+// Allocate implements Backend.
+func (c *CrashBackend) Allocate() (BlockID, error) {
+	if err := c.alive(); err != nil {
+		return NilBlock, err
+	}
+	return c.Inner.Allocate()
+}
+
+// Free implements Backend.
+func (c *CrashBackend) Free(id BlockID) error {
+	if err := c.alive(); err != nil {
+		return err
+	}
+	return c.Inner.Free(id)
+}
+
+// ReadBlock implements Backend.
+func (c *CrashBackend) ReadBlock(id BlockID, buf []byte) error {
+	if err := c.alive(); err != nil {
+		return err
+	}
+	return c.Inner.ReadBlock(id, buf)
+}
+
+// WriteBlock implements Backend: the crashAt-th write dies, optionally
+// persisting a torn half block (new first half, old second half) first.
+func (c *CrashBackend) WriteBlock(id BlockID, buf []byte) error {
+	c.mu.Lock()
+	if c.crashed {
+		c.mu.Unlock()
+		return ErrCrashed
+	}
+	c.writes++
+	fatal := c.CrashAt > 0 && c.writes == c.CrashAt
+	if fatal {
+		c.crashed = true
+	}
+	torn := fatal && c.Torn
+	c.mu.Unlock()
+
+	if !fatal {
+		return c.Inner.WriteBlock(id, buf)
+	}
+	if torn {
+		old := make([]byte, c.Inner.BlockSize())
+		if err := c.Inner.ReadBlock(id, old); err == nil {
+			half := len(buf) / 2
+			img := make([]byte, len(buf))
+			copy(img, old)
+			copy(img[:half], buf[:half])
+			c.Inner.WriteBlock(id, img)
+		}
+	}
+	return fmt.Errorf("%w (block %d, write %d)", ErrCrashed, id, c.writes)
+}
+
+// NumBlocks implements Backend.
+func (c *CrashBackend) NumBlocks() uint64 { return c.Inner.NumBlocks() }
+
+// Close implements Backend: the inner backend is always closed so the
+// harness can reopen the underlying file.
+func (c *CrashBackend) Close() error { return c.Inner.Close() }

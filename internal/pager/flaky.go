@@ -23,17 +23,43 @@ var ErrInjected = errors.New("pager: injected I/O failure")
 type FlakyBackend struct {
 	Inner Backend
 	// Budget is the number of ReadBlock/WriteBlock/Allocate/Free calls
-	// that succeed before every further call fails.
+	// that succeed before every further call fails. It models a device
+	// that dies and stays dead; for a transient fault that heals, use
+	// FailNext instead (which takes precedence while armed).
 	Budget int
 
 	mu       sync.Mutex
 	ops      int
 	injected int
+	failNext int // transient mode: fail this many ops, then heal
 }
 
 // NewFlakyBackend wraps inner with an operation budget.
 func NewFlakyBackend(inner Backend, budget int) *FlakyBackend {
 	return &FlakyBackend{Inner: inner, Budget: budget}
+}
+
+// NewTransientFlakyBackend wraps inner with no permanent budget; arm
+// transient faults with FailNext.
+func NewTransientFlakyBackend(inner Backend) *FlakyBackend {
+	return &FlakyBackend{Inner: inner, Budget: int(^uint(0) >> 1)}
+}
+
+// FailNext arms a transient fault: the next n data operations fail with
+// ErrInjected, after which the backend heals and operations succeed again
+// (budget permitting). It is how retry-after-transient-error paths are
+// exercised: arm, watch the failure surface, then retry and succeed.
+func (f *FlakyBackend) FailNext(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failNext = n
+}
+
+// Healed reports whether no transient fault is currently armed.
+func (f *FlakyBackend) Healed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failNext == 0
 }
 
 // Ops reports the number of operations attempted so far.
@@ -54,6 +80,11 @@ func (f *FlakyBackend) charge(op string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.ops++
+	if f.failNext > 0 {
+		f.failNext--
+		f.injected++
+		return fmt.Errorf("%w (%s, transient)", ErrInjected, op)
+	}
 	if f.ops > f.Budget {
 		f.injected++
 		return fmt.Errorf("%w (%s after %d ops)", ErrInjected, op, f.Budget)

@@ -24,7 +24,25 @@ func (s *Store) CollectGauges() []obs.GaugeValue {
 			"Cumulative LRU hit fraction over all cache-eligible reads.",
 			float64(hits)/float64(total)))
 	}
+	if ws, ok := s.backend.(WALStatser); ok {
+		st := ws.WALStats()
+		gs = append(gs,
+			obs.G("pager_wal_commits", "Write-ahead log transactions committed.", float64(st.Commits)),
+			obs.G("pager_wal_frames", "Block images appended to the write-ahead log.", float64(st.Frames)),
+			obs.G("pager_wal_bytes", "Bytes appended to the write-ahead log.", float64(st.WALBytes)),
+			obs.G("pager_wal_data_bytes", "Bytes applied in place after commit.", float64(st.DataBytes)),
+			obs.G("pager_wal_write_amplification",
+				"Physical bytes written (WAL + data + header) per logical block byte.",
+				st.WriteAmplification(s.backend.BlockSize())),
+		)
+	}
 	return gs
+}
+
+// WALStatser is implemented by backends that track durability I/O
+// (FileBackend). Store surfaces the stats as pager_wal_* gauges.
+type WALStatser interface {
+	WALStats() WALStats
 }
 
 var _ obs.Collector = (*Store)(nil)

@@ -82,6 +82,28 @@ type Backend interface {
 	Close() error
 }
 
+// TxBackend is implemented by backends that can make a batch of writes
+// atomic (FileBackend with its write-ahead log). Store brackets each
+// outermost BeginOp/EndOp pair in a batch, so one logical operation
+// becomes one all-or-nothing transaction on disk.
+type TxBackend interface {
+	Backend
+	// BeginBatch starts staging writes. It performs no I/O and cannot fail.
+	BeginBatch()
+	// CommitBatch makes every staged write (and any allocation/free/meta
+	// mutation since BeginBatch) durable atomically.
+	CommitBatch() error
+	// AbortBatch discards the staged writes and rolls back allocation and
+	// free-list state, as if the batch never started.
+	AbortBatch()
+}
+
+// observerSetter is implemented by backends that report their own metrics
+// (FileBackend's WAL/checksum counters). Store propagates its registry.
+type observerSetter interface {
+	SetObserver(*obs.Registry)
+}
+
 type opBlock struct {
 	data  []byte
 	dirty bool
@@ -133,6 +155,9 @@ func NewStore(backend Backend, opts ...Option) *Store {
 	for _, o := range opts {
 		o(s)
 	}
+	if os, ok := backend.(observerSetter); ok {
+		os.SetObserver(s.obs)
+	}
 	return s
 }
 
@@ -157,7 +182,12 @@ func (s *Store) NumBlocks() uint64 { return s.backend.NumBlocks() }
 
 // SetObserver attaches (or, with nil, detaches) a metrics registry after
 // construction. See WithObserver.
-func (s *Store) SetObserver(r *obs.Registry) { s.obs = r }
+func (s *Store) SetObserver(r *obs.Registry) {
+	s.obs = r
+	if os, ok := s.backend.(observerSetter); ok {
+		os.SetObserver(r)
+	}
+}
 
 // Observer returns the attached metrics registry, or nil. The result is
 // safe to use directly: obs.Registry methods are nil-receiver-safe.
@@ -170,6 +200,8 @@ func (s *Store) countIOError(err error) {
 	if errors.Is(err, ErrInjected) {
 		s.obs.Inc(obs.CtrPagerInjectedFailures)
 	}
+	// Checksum mismatches are counted by the backend at the point of
+	// detection (CtrPagerChecksumFailures); here they are just I/O errors.
 }
 
 // Stats returns a snapshot of the I/O counters.
@@ -205,6 +237,9 @@ func (s *Store) countWrite() {
 func (s *Store) BeginOp() {
 	if s.opDepth == 0 {
 		s.op = make(map[BlockID]*opBlock, 16)
+		if tx, ok := s.backend.(TxBackend); ok {
+			tx.BeginBatch()
+		}
 	}
 	s.opDepth++
 }
@@ -253,6 +288,14 @@ func (s *Store) EndOp() error {
 		}
 	}
 	s.op = nil
+	if tx, ok := s.backend.(TxBackend); ok {
+		if firstErr != nil {
+			tx.AbortBatch()
+		} else if err := tx.CommitBatch(); err != nil {
+			s.countIOError(err)
+			firstErr = err
+		}
+	}
 	return firstErr
 }
 
