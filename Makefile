@@ -6,7 +6,7 @@ GO ?= go
 # parameters.
 BENCH_FLAGS := -base 2000 -inserts 500 -xmark 1000 -xprime 200
 
-.PHONY: all build test race bench bench-diff bench-baseline microbench check crash-matrix fsck experiments experiments-paper-scale clean
+.PHONY: all build test race bench bench-diff bench-baseline microbench check crash-matrix fsck fuzz-smoke experiments experiments-paper-scale clean
 
 all: build test
 
@@ -18,9 +18,17 @@ check:
 	$(GO) test ./...
 
 # The whole suite under the race detector, including the concurrent
-# lookups-over-a-recovered-store walk in internal/crashmatrix.
+# lookups-over-a-recovered-store walk in internal/crashmatrix and the
+# readers-vs-batch-writer group-commit test in internal/core.
 race:
 	$(GO) test -race ./...
+
+# Differential fuzzing on a smoke budget: every native fuzz target gets
+# two minutes of coverage-guided input generation on top of the committed
+# seed corpus. Finds cross-scheme divergences; failures drop a repro file
+# into testdata/fuzz/ that should be committed as a regression.
+fuzz-smoke:
+	$(GO) test ./internal/difftest -fuzz=FuzzOps -fuzztime=2m
 
 # The crash-point sweep: every scheme, every raw write point of a scripted
 # durable workload, full cuts and torn writes, plus the corruption
@@ -54,6 +62,7 @@ bench-diff: bench
 	$(GO) run ./cmd/benchdiff -threshold 0.25 results/baseline-scattered.json BENCH_scattered.json
 	$(GO) run ./cmd/benchdiff -threshold 0.25 results/baseline-xmark.json BENCH_xmark.json
 	$(GO) run ./cmd/benchdiff -threshold 0.25 results/baseline-durable.json BENCH_durable.json
+	$(GO) run ./cmd/benchdiff -threshold 0.25 -max 'group-8:pager_wal_syncs_per_op=0.25' results/baseline-group.json BENCH_group.json
 
 # Regenerate the committed baselines after an intentional performance
 # change (review the diff before committing).
@@ -63,6 +72,7 @@ bench-baseline:
 	mv results/BENCH_scattered.json results/baseline-scattered.json
 	mv results/BENCH_xmark.json results/baseline-xmark.json
 	mv results/BENCH_durable.json results/baseline-durable.json
+	mv results/BENCH_group.json results/baseline-group.json
 
 microbench:
 	$(GO) test -bench=. -benchmem .

@@ -54,8 +54,34 @@ type (
 	Scheme = core.Scheme
 	// Caching selects the lookup acceleration mode.
 	Caching = core.Caching
-	// SyncStore is a mutex-guarded Store safe for concurrent use.
+	// SyncStore is a lock-guarded Store safe for concurrent use: lookups
+	// run shared, mutators exclusive.
 	SyncStore = core.SyncStore
+	// BatchOp is one operation of a Store.ApplyBatch batch.
+	BatchOp = core.Op
+	// BatchOpKind selects a BatchOp's operation.
+	BatchOpKind = core.OpKind
+	// BatchOpResult is the positional outcome of one BatchOp.
+	BatchOpResult = core.OpResult
+	// Durability tunes WAL group commit (Options.Durability): Every is the
+	// target group size, MaxDelay the longest a queued transaction waits
+	// for company before its group flushes anyway.
+	Durability = pager.Durability
+	// CommitTicket resolves when a queued transaction is durable.
+	CommitTicket = pager.CommitTicket
+)
+
+// Batch operation kinds for Store.ApplyBatch / SyncStore.ApplyBatch.
+const (
+	BatchInsertBefore  = core.OpInsertBefore
+	BatchInsertFirst   = core.OpInsertFirst
+	BatchInsertSubtree = core.OpInsertSubtree
+	BatchDelete        = core.OpDelete
+	BatchDeleteElement = core.OpDeleteElement
+	BatchDeleteSubtree = core.OpDeleteSubtree
+	BatchLookup        = core.OpLookup
+	BatchLookupSpan    = core.OpLookupSpan
+	BatchOrdinal       = core.OpOrdinalLookup
 )
 
 // NewSyncStore wraps st for concurrent use; the unwrapped Store must no

@@ -9,6 +9,13 @@
 //
 //	benchdiff results/baseline.json BENCH_concentrated.json
 //	benchdiff -threshold 0.10 -wall old.json new.json
+//	benchdiff -max 'group-8:pager_wal_syncs_per_op=0.25' base.json cur.json
+//
+// -max adds an ABSOLUTE ceiling on a gauge of the current snapshot
+// (scheme:gauge=value, repeatable), independent of the baseline: the
+// group-commit contract "under a quarter of an fsync per op at batch 8"
+// is such a bound — a number the design promises, not a number relative
+// to last week.
 //
 // Exit status: 0 when no metric regressed, 1 when at least one did, 2 on
 // unreadable files or incomparable snapshots (different experiments or
@@ -19,13 +26,65 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"boxes/internal/bench"
 )
 
+// maxFlags collects repeatable -max scheme:gauge=value assertions.
+type maxFlags []maxAssert
+
+type maxAssert struct {
+	scheme, gauge string
+	ceiling       float64
+}
+
+func (m *maxFlags) String() string { return fmt.Sprintf("%d assertions", len(*m)) }
+
+func (m *maxFlags) Set(s string) error {
+	head, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want scheme:gauge=value, got %q", s)
+	}
+	scheme, gauge, ok := strings.Cut(head, ":")
+	if !ok {
+		return fmt.Errorf("want scheme:gauge=value, got %q", s)
+	}
+	ceiling, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad ceiling in %q: %v", s, err)
+	}
+	*m = append(*m, maxAssert{scheme: scheme, gauge: gauge, ceiling: ceiling})
+	return nil
+}
+
+// checkMax verifies one absolute ceiling against the current snapshot.
+// The addressed scheme and gauge must exist: a silently missing metric
+// would turn the gate into a no-op.
+func checkMax(current bench.SnapshotFile, a maxAssert) error {
+	for _, s := range current.Schemes {
+		if s.Scheme != a.scheme {
+			continue
+		}
+		for key, v := range s.Gauges {
+			if key == a.gauge || strings.HasPrefix(key, a.gauge+"{") {
+				if v > a.ceiling {
+					return fmt.Errorf("%s %s = %.4g exceeds ceiling %.4g", a.scheme, a.gauge, v, a.ceiling)
+				}
+				return nil
+			}
+		}
+		return fmt.Errorf("scheme %s has no gauge %s", a.scheme, a.gauge)
+	}
+	return fmt.Errorf("snapshot has no scheme %s", a.scheme)
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0.25, "relative regression tolerance (0.25 = fail when 25% worse)")
 	wall := flag.Bool("wall", false, "also compare wall-clock metrics (ops/sec, p99 latency); same-machine snapshots only")
+	var maxes maxFlags
+	flag.Var(&maxes, "max", "absolute gauge ceiling on the current snapshot, scheme:gauge=value (repeatable)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] <baseline.json> <current.json>")
@@ -44,9 +103,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	failedMax := 0
+	for _, a := range maxes {
+		if err := checkMax(current, a); err != nil {
+			fmt.Printf("benchdiff: %s: ceiling violated: %v\n", current.Experiment, err)
+			failedMax++
+		}
+	}
 	if len(regs) == 0 {
-		fmt.Printf("benchdiff: %s: no regressions beyond %.0f%% (%d schemes compared)\n",
-			current.Experiment, *threshold*100, len(current.Schemes))
+		fmt.Printf("benchdiff: %s: no regressions beyond %.0f%% (%d schemes compared, %d ceilings held)\n",
+			current.Experiment, *threshold*100, len(current.Schemes), len(maxes)-failedMax)
+		if failedMax > 0 {
+			os.Exit(1)
+		}
 		return
 	}
 	fmt.Printf("benchdiff: %s: %d regression(s) beyond %.0f%%:\n", current.Experiment, len(regs), *threshold*100)

@@ -8,6 +8,7 @@
 //	boxload -scheme bbox -join open_auction,increase doc.xml
 //	boxload -scheme wboxo -twig '//open_auction//bidder/increase' doc.xml
 //	boxgen -elements 50000 | boxload -scheme bbox -ordinal -
+//	boxgen -elements 2000 | boxload -scheme bbox -save doc.box -durable -batch 8 -group-commit 8 -
 package main
 
 import (
@@ -39,6 +40,9 @@ func main() {
 		check    = flag.Bool("check", true, "verify structural invariants after loading")
 		saveTo   = flag.String("save", "", "persist the labeling store to this file after loading")
 		runFsck  = flag.Bool("fsck", false, "with -save: close the store and run an offline fsck over the file")
+		durable  = flag.Bool("durable", false, "with -save: route every mutation through the write-ahead log")
+		batch    = flag.Int("batch", 0, "load element-wise in ApplyBatch transactions of N inserts (0 = one bulk load)")
+		groupN   = flag.Int("group-commit", 0, "with -durable: coalesce up to N transactions per WAL fsync")
 		metrics  = flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (\":0\" picks a port)")
 		crashDir = flag.String("crashdir", "", "write flight-recorder crash dumps to this directory on op errors")
 		linger   = flag.Bool("linger", false, "with -metrics: keep serving after the work until interrupted")
@@ -76,6 +80,19 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown scheme %q", *scheme))
 	}
+	if *runFsck && *saveTo == "" {
+		fatal(fmt.Errorf("-fsck needs -save (there is no file to check otherwise)"))
+	}
+	if *durable && *saveTo == "" {
+		fatal(fmt.Errorf("-durable needs -save (the WAL lives next to the store file)"))
+	}
+	if *groupN > 0 && !*durable {
+		fatal(fmt.Errorf("-group-commit needs -durable (it batches WAL fsyncs)"))
+	}
+	opts.Durable = *durable
+	if *groupN > 0 {
+		opts.Durability = &pager.Durability{Every: *groupN}
+	}
 	var fb *pager.FileBackend
 	if *saveTo != "" {
 		var err error
@@ -84,9 +101,6 @@ func main() {
 			fatal(err)
 		}
 		opts.Backend = fb
-	}
-	if *runFsck && *saveTo == "" {
-		fatal(fmt.Errorf("-fsck needs -save (there is no file to check otherwise)"))
 	}
 	if *metrics != "" {
 		opts.Metrics = obs.NewRegistry()
@@ -101,16 +115,45 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *groupN > 0 {
+		// A sequential loader only benefits from group commit when it does
+		// not wait for each transaction's fsync: defer durability so the
+		// committer coalesces the stream, then settle the last ticket below
+		// (commits are ordered, so the last ticket implies all of them).
+		st.SetDeferredDurability(true)
+	}
 
 	start := time.Now()
-	doc, err := st.Load(tree)
+	var doc *core.Document
+	if *batch > 0 {
+		doc, err = st.LoadBatched(tree, *batch)
+	} else {
+		doc, err = st.Load(tree)
+	}
 	if err != nil {
 		fatal(err)
 	}
+	if *groupN > 0 {
+		if err := st.TakeTicket().Wait(); err != nil {
+			fatal(err)
+		}
+	}
 	loadIO := st.Stats()
+	if *batch > 0 {
+		fmt.Printf("mode    : element-wise load, ApplyBatch transactions of %d inserts\n", *batch)
+	}
 	fmt.Printf("loaded  : %d elements (%d labels) in %v\n", tree.Elements(), st.Count(), time.Since(start).Round(time.Millisecond))
 	fmt.Printf("scheme  : %s  height=%d  label_bits=%d  blocks=%d\n", opts.Scheme, st.Height(), st.LabelBits(), st.Blocks())
 	fmt.Printf("load i/o: %v\n", loadIO)
+	if *durable {
+		ws := fb.WALStats()
+		groupSize := 0.0
+		if ws.GroupCommits > 0 {
+			groupSize = float64(ws.GroupedTxns) / float64(ws.GroupCommits)
+		}
+		fmt.Printf("wal     : %d commits, %d fsyncs, %d grouped txns in %d groups (mean %.2f txns/group)\n",
+			ws.Commits, ws.Syncs, ws.GroupedTxns, ws.GroupCommits, groupSize)
+	}
 
 	if *check {
 		if err := st.CheckInvariants(); err != nil {

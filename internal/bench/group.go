@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"boxes/internal/core"
+	"boxes/internal/obs"
+	"boxes/internal/pager"
+)
+
+// groupMode is one commit-path configuration of the group experiment.
+type groupMode struct {
+	name  string
+	batch int               // ApplyBatch size (1 = one op per call)
+	dur   *pager.Durability // nil = per-op commit without group commit
+}
+
+// groupModes compares the per-operation-fsync baseline against WAL group
+// commit at growing batch sizes. The mode names are the snapshot's
+// "scheme" column, so benchdiff gates each mode independently.
+func groupModes() []groupMode {
+	return []groupMode{
+		{"per-op", 1, nil},
+		{"group-1", 1, &pager.Durability{Every: 8}},
+		{"group-8", 8, &pager.Durability{Every: 8}},
+		{"group-32", 32, &pager.Durability{Every: 8}},
+	}
+}
+
+// RunGroup measures durable insert throughput under the WAL commit modes:
+// the per-op-fsync baseline, group commit with single-op transactions (the
+// solo fast path), and multi-op ApplyBatch transactions under group
+// commit. The workload is the concentrated insertion pattern driven
+// through a durable core.Store over a real FileBackend with real fsyncs —
+// the physical durability point group commit exists to amortize.
+//
+// Besides the standard columns, every row carries the per-op durability
+// gauges the baseline gates: pager_wal_syncs_per_op (WAL fsyncs per
+// insert; 1.0 in per-op mode, 1/N at batch size N), commits_per_op, and
+// the realized mean group size.
+func RunGroup(cfg Config) ([]SchemeRun, error) {
+	dir, err := os.MkdirTemp("", "boxes-group")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	var out []SchemeRun
+	for _, mode := range groupModes() {
+		run, err := runGroupMode(dir, cfg, mode)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", mode.name, err)
+		}
+		out = append(out, run)
+	}
+	return out, nil
+}
+
+func runGroupMode(dir string, cfg Config, mode groupMode) (SchemeRun, error) {
+	// Unlike the other durable experiments this one performs REAL fsyncs:
+	// group commit exists to amortize the physical durability point, so
+	// suppressing it would hide exactly the cost being measured.
+	fb, err := pager.CreateFileOpts(filepath.Join(dir, mode.name+".box"),
+		pager.FileOptions{BlockSize: cfg.BlockSize})
+	if err != nil {
+		return SchemeRun{}, err
+	}
+	defer fb.Close()
+	st, err := core.Open(core.Options{
+		Scheme:     core.SchemeBBox,
+		BlockSize:  cfg.BlockSize,
+		Backend:    fb,
+		Durable:    true,
+		Durability: mode.dur,
+	})
+	if err != nil {
+		return SchemeRun{}, err
+	}
+
+	// Base document outside the measured window.
+	root, err := st.InsertFirstElement()
+	if err != nil {
+		return SchemeRun{}, err
+	}
+	statsBefore := st.Stats()
+	walBefore := fb.WALStats()
+
+	// Concentrated insertion: every new element lands before the document
+	// root's end tag, issued in ApplyBatch transactions of the mode's size.
+	ops := make([]core.Op, mode.batch)
+	for i := range ops {
+		ops[i] = core.Op{Kind: core.OpInsertBefore, LID: root.End}
+	}
+	inserts := 0
+	startT := time.Now()
+	for inserts < cfg.InsertElems {
+		n := mode.batch
+		if rem := cfg.InsertElems - inserts; rem < n {
+			n = rem
+		}
+		if _, err := st.ApplyBatch(ops[:n]); err != nil {
+			return SchemeRun{}, err
+		}
+		inserts += n
+	}
+	elapsed := time.Since(startT)
+	statsAfter := st.Stats()
+	walAfter := fb.WALStats()
+
+	opsF := float64(inserts)
+	totalIO := (statsAfter.Reads - statsBefore.Reads) + (statsAfter.Writes - statsBefore.Writes)
+	syncs := walAfter.Syncs - walBefore.Syncs
+	commits := walAfter.Commits - walBefore.Commits
+	groupSize := 0.0
+	if g := walAfter.GroupCommits; g > 0 {
+		groupSize = float64(walAfter.GroupedTxns) / float64(g)
+	}
+	run := SchemeRun{
+		Scheme:    mode.name,
+		Ops:       inserts,
+		AvgIO:     float64(totalIO) / opsF,
+		TotalIO:   totalIO,
+		Height:    st.Height(),
+		LabelBits: st.LabelBits(),
+		OpsPerSec: opsF / elapsed.Seconds(),
+		Gauges: []obs.GaugeValue{
+			obs.G("pager_wal_syncs_per_op", "WAL fsyncs per inserted element.", float64(syncs)/opsF, "scheme", mode.name),
+			obs.G("pager_wal_commits_per_op", "WAL commit records per inserted element.", float64(commits)/opsF, "scheme", mode.name),
+			obs.G("pager_wal_group_size_realized", "Mean transactions per flushed group.", groupSize, "scheme", mode.name),
+		},
+	}
+	return run, nil
+}
+
+// Group prints the group-commit throughput table: insert throughput and
+// durability points per op for each commit mode.
+func Group(w io.Writer, cfg Config) error {
+	runs, err := RunGroup(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Durable insert throughput by commit mode (B-BOX, concentrated, FileBackend + WAL)\n")
+	fmt.Fprintf(w, "inserts=%d block=%d  (real fsyncs: group commit amortizes the durability point)\n\n", cfg.InsertElems, cfg.BlockSize)
+	fmt.Fprintf(w, "%-10s %8s %10s %10s %12s %12s %10s\n",
+		"mode", "ops", "ops/s", "avg I/O", "fsyncs/op", "commits/op", "group sz")
+	var base float64
+	for _, r := range runs {
+		gauges := gaugeMap(r.Gauges)
+		speedup := ""
+		if r.Scheme == "per-op" {
+			base = r.OpsPerSec
+		} else if base > 0 {
+			speedup = fmt.Sprintf("  (%.1fx vs per-op)", r.OpsPerSec/base)
+		}
+		fmt.Fprintf(w, "%-10s %8d %10.0f %10.2f %12.3f %12.3f %10.2f%s\n",
+			r.Scheme, r.Ops, r.OpsPerSec, r.AvgIO,
+			gaugeFor(gauges, "pager_wal_syncs_per_op"),
+			gaugeFor(gauges, "pager_wal_commits_per_op"),
+			gaugeFor(gauges, "pager_wal_group_size_realized"), speedup)
+	}
+	return nil
+}

@@ -149,6 +149,7 @@ func WriteBenchSnapshots(dir string, cfg Config) ([]string, error) {
 		{"scattered", RunScattered},
 		{"xmark", RunXMark},
 		{"durable", RunDurable},
+		{"group", RunGroup},
 	}
 	var paths []string
 	for _, e := range exps {

@@ -101,6 +101,15 @@ type Options struct {
 	// naive stores pay proportionally more.
 	Durable bool
 
+	// Durability starts the backend's group committer (WAL group commit):
+	// concurrently committing operations coalesce into a single WAL fsync.
+	// Requires Durable and a backend that supports group commit
+	// (pager.FileBackend). Mutators then return once their transaction is
+	// queued; the commit ticket (TakeTicket, or SyncStore's automatic wait)
+	// resolves when it is durable. Nil keeps synchronous per-operation
+	// commits.
+	Durability *pager.Durability
+
 	// Metrics routes the store's measurements into an existing registry,
 	// so several stores (e.g. one per scheme in a benchmark) can share one
 	// exposition endpoint. When nil the store creates its own registry;
@@ -132,6 +141,12 @@ type Store struct {
 	reg        *obs.Registry
 	schemeName string
 	flight     *obs.FlightRecorder
+
+	// deferred makes mutators return before their group-commit ticket
+	// resolves; the caller collects it with TakeTicket (SyncStore waits
+	// after releasing its write lock, so concurrent writers coalesce).
+	deferred bool
+	ticket   *pager.CommitTicket
 }
 
 // Open creates an empty Store.
@@ -211,6 +226,23 @@ func Open(opts Options) (*Store, error) {
 		}
 		if _, ok := labeler.(metaMarshaler); !ok {
 			return nil, fmt.Errorf("core: scheme %v cannot persist metadata", opts.Scheme)
+		}
+	}
+	if opts.Durability != nil {
+		if !opts.Durable {
+			return nil, errors.New("core: Durability (group commit) requires Durable")
+		}
+		gs, ok := backend.(interface {
+			StartGroupCommit(pager.Durability) error
+			GroupCommitEnabled() bool
+		})
+		if !ok {
+			return nil, errors.New("core: Durability requires a backend with group commit (pager.FileBackend)")
+		}
+		if !gs.GroupCommitEnabled() {
+			if err := gs.StartGroupCommit(*opts.Durability); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -300,7 +332,30 @@ func (s *Store) durable(fn func() error) error {
 	if e := s.store.EndOp(); err == nil {
 		err = e
 	}
+	if t := s.store.TakeTicket(); t != nil {
+		if s.deferred {
+			s.ticket = t
+		} else if werr := t.Wait(); err == nil {
+			err = werr
+		}
+	}
 	return err
+}
+
+// SetDeferredDurability controls when mutators wait for their group-commit
+// ticket. Off (the default), every mutator blocks until its transaction is
+// durable — same semantics as synchronous commit. On, mutators return once
+// the transaction is queued and the caller is responsible for collecting
+// the ticket with TakeTicket; SyncStore turns this on and waits after
+// releasing its write lock, so concurrent writers share one fsync.
+func (s *Store) SetDeferredDurability(on bool) { s.deferred = on }
+
+// TakeTicket returns (and clears) the commit ticket of the most recent
+// deferred mutation, or nil. Nil tickets Wait as immediate success.
+func (s *Store) TakeTicket() *pager.CommitTicket {
+	t := s.ticket
+	s.ticket = nil
+	return t
 }
 
 // Stats returns the block I/O counters accumulated so far.

@@ -163,6 +163,7 @@ func openExisting(backend pager.Backend, runtime Options) (*Store, error) {
 		CacheBlocks:   runtime.CacheBlocks,
 		Backend:       backend,
 		Durable:       runtime.Durable,
+		Durability:    runtime.Durability,
 		Metrics:       runtime.Metrics,
 		TraceHooks:    runtime.TraceHooks,
 		CrashDir:      runtime.CrashDir,

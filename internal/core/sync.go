@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"boxes/internal/obs"
 	"boxes/internal/order"
@@ -10,34 +11,72 @@ import (
 	"boxes/internal/xmlgen"
 )
 
-// SyncStore wraps a Store with a mutex so it can be shared by multiple
-// goroutines. The underlying structures are single-writer (the pager's
-// per-operation pinning is not reentrant), so every operation — including
-// lookups, which may refresh caches — is serialized. The paper leaves true
-// multi-user operation as future work; this wrapper makes the
-// single-writer discipline safe to use from concurrent code.
+// SyncStore wraps a Store with a read/write lock so it can be shared by
+// multiple goroutines: lookups (Lookup, LookupSpan, OrdinalLookup, Compare,
+// and the scalar accessors) run concurrently under the read lock, while
+// mutators, Load, Save, Health and CheckInvariants serialize under the
+// write lock. The pager runs in shared mode (pager.Store.SetShared): reader
+// operations skip the per-op pin map entirely, the LRU cache and I/O
+// counters are internally synchronized, and writers are bracketed with
+// BeginWrite/EndWrite so their pinned, batched path is unchanged.
+//
+// With group commit enabled (Options.Durability) mutators wait for their
+// commit ticket AFTER releasing the write lock, so concurrently queued
+// transactions coalesce into a single WAL fsync while the next writer
+// proceeds. A mutator returns nil only once its transaction is durable.
+// Lock acquisition waits are recorded in the registry's
+// boxes_lock_wait_seconds histograms.
 type SyncStore struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 	st *Store
 }
 
-// NewSyncStore wraps st. The unwrapped Store must no longer be used
-// directly.
-func NewSyncStore(st *Store) *SyncStore { return &SyncStore{st: st} }
+// NewSyncStore wraps st, switching its pager into shared-read mode and its
+// durability into deferred-ticket mode. The unwrapped Store must no longer
+// be used directly.
+func NewSyncStore(st *Store) *SyncStore {
+	st.store.SetShared(true)
+	st.SetDeferredDurability(true)
+	return &SyncStore{st: st}
+}
 
 // Unwrap returns the underlying Store; callers must hold no concurrent
 // operations while using it.
 func (s *SyncStore) Unwrap() *Store { return s.st }
 
-func (s *SyncStore) Scheme() Scheme {
+// rlock acquires the read lock, recording the wait.
+func (s *SyncStore) rlock() {
+	start := time.Now()
+	s.mu.RLock()
+	s.st.reg.ObserveLockWait(obs.LockRead, time.Since(start))
+}
+
+// write runs fn under the write lock with the pager's writer bracket, then
+// waits for the commit ticket outside the lock.
+func (s *SyncStore) write(fn func() error) error {
+	start := time.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.st.reg.ObserveLockWait(obs.LockWrite, time.Since(start))
+	s.st.store.BeginWrite()
+	err := fn()
+	s.st.store.EndWrite()
+	ticket := s.st.TakeTicket()
+	s.mu.Unlock()
+	if werr := ticket.Wait(); err == nil {
+		err = werr
+	}
+	return err
+}
+
+func (s *SyncStore) Scheme() Scheme {
+	s.rlock()
+	defer s.mu.RUnlock()
 	return s.st.Scheme()
 }
 
 func (s *SyncStore) Stats() pager.IOStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlock()
+	defer s.mu.RUnlock()
 	return s.st.Stats()
 }
 
@@ -55,101 +94,124 @@ func (s *SyncStore) ResetStats() {
 }
 
 func (s *SyncStore) Count() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlock()
+	defer s.mu.RUnlock()
 	return s.st.Count()
 }
 
 func (s *SyncStore) Height() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlock()
+	defer s.mu.RUnlock()
 	return s.st.Height()
 }
 
 func (s *SyncStore) LabelBits() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlock()
+	defer s.mu.RUnlock()
 	return s.st.LabelBits()
 }
 
 func (s *SyncStore) Lookup(lid order.LID) (order.Label, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlock()
+	defer s.mu.RUnlock()
 	return s.st.Lookup(lid)
 }
 
 func (s *SyncStore) LookupSpan(e order.ElemLIDs) (query.Span, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlock()
+	defer s.mu.RUnlock()
 	return s.st.LookupSpan(e)
 }
 
 func (s *SyncStore) OrdinalLookup(lid order.LID) (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlock()
+	defer s.mu.RUnlock()
 	return s.st.OrdinalLookup(lid)
 }
 
+// Compare orders two tags by document position under the read lock.
+func (s *SyncStore) Compare(a, b order.LID) (int, error) {
+	s.rlock()
+	defer s.mu.RUnlock()
+	return s.st.Compare(a, b)
+}
+
 func (s *SyncStore) InsertElementBefore(lidOld order.LID) (order.ElemLIDs, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.st.InsertElementBefore(lidOld)
+	var e order.ElemLIDs
+	err := s.write(func() (err error) {
+		e, err = s.st.InsertElementBefore(lidOld)
+		return err
+	})
+	return e, err
 }
 
 func (s *SyncStore) InsertFirstElement() (order.ElemLIDs, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.st.InsertFirstElement()
+	var e order.ElemLIDs
+	err := s.write(func() (err error) {
+		e, err = s.st.InsertFirstElement()
+		return err
+	})
+	return e, err
 }
 
 func (s *SyncStore) Delete(lid order.LID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.st.Delete(lid)
+	return s.write(func() error { return s.st.Delete(lid) })
 }
 
 func (s *SyncStore) DeleteElement(e order.ElemLIDs) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.st.DeleteElement(e)
+	return s.write(func() error { return s.st.DeleteElement(e) })
 }
 
 func (s *SyncStore) DeleteSubtree(e order.ElemLIDs) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.st.DeleteSubtree(e)
+	return s.write(func() error { return s.st.DeleteSubtree(e) })
 }
 
 func (s *SyncStore) InsertSubtreeBefore(lidOld order.LID, tree *xmlgen.Tree) ([]order.ElemLIDs, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.st.InsertSubtreeBefore(lidOld, tree)
+	var elems []order.ElemLIDs
+	err := s.write(func() (err error) {
+		elems, err = s.st.InsertSubtreeBefore(lidOld, tree)
+		return err
+	})
+	return elems, err
+}
+
+// ApplyBatch commits ops as one atomic transaction (see Store.ApplyBatch)
+// under the write lock, waiting for durability outside it.
+func (s *SyncStore) ApplyBatch(ops []Op) ([]OpResult, error) {
+	var results []OpResult
+	err := s.write(func() (err error) {
+		results, err = s.st.ApplyBatch(ops)
+		return err
+	})
+	return results, err
 }
 
 func (s *SyncStore) Load(tree *xmlgen.Tree) (*Document, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.st.Load(tree)
+	var doc *Document
+	err := s.write(func() (err error) {
+		doc, err = s.st.Load(tree)
+		return err
+	})
+	return doc, err
 }
 
 func (s *SyncStore) CheckInvariants() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.st.CheckInvariants()
+	return s.write(func() error { return s.st.CheckInvariants() })
 }
 
 func (s *SyncStore) Save() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.st.Save()
+	return s.write(func() error { return s.st.Save() })
 }
 
 // Health gathers the structural gauges of every layer, serialized against
 // operations (the walk reads live structures).
 func (s *SyncStore) Health() []obs.GaugeValue {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.st.Health()
+	var gs []obs.GaugeValue
+	s.write(func() error {
+		gs = s.st.Health()
+		return nil
+	})
+	return gs
 }
 
 // RegisterHealthGauges registers the wrapped store as a scrape-time gauge

@@ -1,0 +1,86 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDiffSeededScripts is the deterministic property test: pseudo-random
+// scripts of increasing length drive all five schemes and the oracle. Any
+// failure prints the script bytes, which can be dropped straight into the
+// fuzz corpus.
+func TestDiffSeededScripts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep is not short")
+	}
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			n := 32 + rng.Intn(3*maxScriptOps)
+			script := make([]byte, n)
+			rng.Read(script)
+			if err := Exec(script); err != nil {
+				t.Fatalf("seed %d script %q: %v", seed, script, err)
+			}
+		})
+	}
+}
+
+// TestDiffDirectedScripts pins down hand-written scenarios the random
+// sweep may miss: bootstrap-only, delete-to-empty-and-rebootstrap, and
+// batch-heavy scripts.
+func TestDiffDirectedScripts(t *testing.T) {
+	cases := map[string][]byte{
+		"bootstrap-only": {0},
+		"insert-chain":   {0, 0, 0, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6},
+		"subtree-churn":  {0, 1, 0, 0, 2, 1, 1, 1, 1, 3, 0, 0, 1, 2, 2, 4, 0, 1, 2},
+		"batch-heavy":    {0, 5, 9, 0, 0, 1, 3, 2, 7, 5, 3, 0, 1, 0, 1, 1, 2, 5, 1, 4, 4, 2},
+		"reads-mixed":    {0, 4, 1, 0, 2, 1, 4, 3, 1, 0, 0, 4, 4, 5, 6, 4, 2, 0},
+	}
+	for name, script := range cases {
+		name, script := name, script
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if err := Exec(script); err != nil {
+				t.Fatalf("script %v: %v", script, err)
+			}
+		})
+	}
+}
+
+// TestDiffDeleteToEmpty drives the document empty and rebootstraps it,
+// twice — the lifecycle edge the schemes must all agree on.
+func TestDiffDeleteToEmpty(t *testing.T) {
+	// op 0: bootstrap; kind%7==3 deletes a subtree — targeting element 0
+	// (the root) empties the document; the next op rebootstraps.
+	script := []byte{
+		0,       // bootstrap
+		3, 0, 0, // delete subtree at root -> empty
+		0,       // rebootstrap
+		0, 0, 0, // insert-before
+		3, 0, 0, // empty again (delete root subtree)
+		0, // rebootstrap again
+	}
+	if err := Exec(script); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzOps is the native fuzz target: go test -fuzz=FuzzOps ./internal/difftest
+func FuzzOps(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6})
+	f.Add([]byte{0, 1, 0, 0, 2, 1, 1, 1, 1, 3, 0, 0, 1, 2, 2, 4, 0, 1, 2})
+	f.Add([]byte{0, 5, 9, 0, 0, 1, 3, 2, 7, 5, 3, 0, 1, 0, 1, 1, 2, 5, 1, 4, 4, 2})
+	f.Add([]byte{0, 3, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 4*maxScriptOps {
+			script = script[:4*maxScriptOps]
+		}
+		if err := Exec(script); err != nil {
+			t.Fatalf("script %q: %v", script, err)
+		}
+	})
+}

@@ -45,6 +45,9 @@ type Snapshot struct {
 	Schemes  []string
 	Ops      map[string]OpSnapshot
 	Counters map[string]uint64
+	// LockWaits holds the SyncStore lock acquisition wait histograms
+	// (nanoseconds), keyed by lock kind ("read", "write").
+	LockWaits map[string]HistSnapshot
 	// Gauges holds the structural health samples of every registered
 	// collector, evaluated at snapshot time (nil when none are registered).
 	Gauges []GaugeValue
@@ -86,6 +89,10 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for c := Counter(0); c < numCounters; c++ {
 		s.Counters[c.String()] = r.counters[c].Load()
+	}
+	s.LockWaits = make(map[string]HistSnapshot, numLockKinds)
+	for k := LockKind(0); k < numLockKinds; k++ {
+		s.LockWaits[k.String()] = snapHist(&r.lockWaits[k])
 	}
 	s.Gauges = r.GatherGauges()
 	return s
@@ -191,6 +198,20 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 		func(s *opSeries) *hist { return &s.reads }, r)
 	writeOpHist(cw, "boxes_op_writes", "Block writes charged per operation.", "",
 		func(s *opSeries) *hist { return &s.writes }, r)
+
+	cw.printf("# HELP boxes_lock_wait_seconds SyncStore lock acquisition wait, by lock kind.\n# TYPE boxes_lock_wait_seconds histogram\n")
+	for k := LockKind(0); k < numLockKinds; k++ {
+		h := &r.lockWaits[k]
+		var cum uint64
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			cw.printf("boxes_lock_wait_seconds_bucket{lock=\"%s\",le=\"%s\"} %d\n", escapeLabel(k.String()), secs(b), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		cw.printf("boxes_lock_wait_seconds_bucket{lock=\"%s\",le=\"+Inf\"} %d\n", escapeLabel(k.String()), cum)
+		cw.printf("boxes_lock_wait_seconds_sum{lock=\"%s\"} %s\n", escapeLabel(k.String()), secs(h.sum.Load()))
+		cw.printf("boxes_lock_wait_seconds_count{lock=\"%s\"} %d\n", escapeLabel(k.String()), cum)
+	}
 
 	// Structural counters, one # TYPE line per metric family. Several
 	// schemes (and several stores) may report into one registry; families

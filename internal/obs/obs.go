@@ -40,6 +40,7 @@ const (
 	OpSubtreeDelete
 	OpBulkLoad
 	OpCheck
+	OpBatch
 	numOps
 )
 
@@ -51,6 +52,7 @@ var opNames = [numOps]string{
 	OpSubtreeDelete: "subtree_delete",
 	OpBulkLoad:      "bulk_load",
 	OpCheck:         "check",
+	OpBatch:         "batch",
 }
 
 func (o Op) String() string {
@@ -113,6 +115,12 @@ const (
 	CtrPagerWALCommits
 	// CtrPagerWALFrames counts block images appended to the write-ahead log.
 	CtrPagerWALFrames
+	// CtrPagerWALSyncs counts write-ahead log fsyncs — the durability
+	// points. Group commit amortizes several transactions over one.
+	CtrPagerWALSyncs
+	// CtrPagerWALGroups counts commit groups flushed by the group-commit
+	// committer (each covers one or more transactions and one WAL fsync).
+	CtrPagerWALGroups
 	// CtrPagerChecksumFailures counts blocks whose CRC32-C did not match
 	// their contents on read — detected corruption.
 	CtrPagerChecksumFailures
@@ -146,6 +154,8 @@ var counterNames = [numCounters]string{
 	CtrPagerInjectedFailures: "pager_injected_failures_total",
 	CtrPagerWALCommits:       "pager_wal_commits_total",
 	CtrPagerWALFrames:        "pager_wal_frames_total",
+	CtrPagerWALSyncs:         "pager_wal_syncs_total",
+	CtrPagerWALGroups:        "pager_wal_groups_total",
 	CtrPagerChecksumFailures: "pager_checksum_failures_total",
 	CtrReflogHits:            "reflog_cache_hits_total",
 	CtrReflogRepairs:         "reflog_cache_repairs_total",
@@ -208,13 +218,38 @@ type opSeries struct {
 	writes  hist
 }
 
+// LockKind distinguishes the SyncStore lock paths whose acquisition waits
+// are recorded via ObserveLockWait.
+type LockKind uint8
+
+const (
+	// LockRead is the shared path (lookups under the read lock).
+	LockRead LockKind = iota
+	// LockWrite is the exclusive path (mutations under the write lock).
+	LockWrite
+	numLockKinds
+)
+
+var lockKindNames = [numLockKinds]string{
+	LockRead:  "read",
+	LockWrite: "write",
+}
+
+func (k LockKind) String() string {
+	if int(k) < len(lockKindNames) {
+		return lockKindNames[k]
+	}
+	return "unknown"
+}
+
 // Registry is the metrics hub one store (or a whole benchmark run) reports
 // into. All methods are safe for concurrent use and nil-receiver-safe, so
 // uninstrumented configurations cost a single predicted branch.
 type Registry struct {
-	counters [numCounters]atomic.Uint64
-	ops      [numOps]opSeries
-	hooks    atomic.Pointer[[]TraceHook]
+	counters  [numCounters]atomic.Uint64
+	ops       [numOps]opSeries
+	lockWaits [numLockKinds]hist
+	hooks     atomic.Pointer[[]TraceHook]
 
 	mu         sync.Mutex
 	schemes    []string    // scheme names of the stores reporting here
@@ -229,7 +264,24 @@ func NewRegistry() *Registry {
 		r.ops[i].reads.bounds = ioBounds
 		r.ops[i].writes.bounds = ioBounds
 	}
+	for i := range r.lockWaits {
+		r.lockWaits[i].bounds = latencyBounds
+	}
 	return r
+}
+
+// ObserveLockWait records how long one SyncStore lock acquisition waited.
+// The shared read path should spend its time in the structure, not the
+// lock; these histograms make reader starvation and writer convoying
+// visible.
+func (r *Registry) ObserveLockWait(k LockKind, d time.Duration) {
+	if r == nil || k >= numLockKinds {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	r.lockWaits[k].observe(uint64(d))
 }
 
 // SetScheme records that a store using the named scheme reports into this

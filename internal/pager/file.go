@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sync"
 
 	"boxes/internal/obs"
 )
@@ -63,6 +64,28 @@ type WALStats struct {
 	LogicalWrites uint64 // WriteBlock calls (the paper's counted writes)
 	HeaderWrites  uint64 // header rewrites
 	Truncations   uint64 // WAL resets after apply
+
+	// Syncs counts WAL fsyncs — the durability points. They are counted
+	// even under NoSync so benchmarks measure the fsync *pattern* (one per
+	// transaction when committing synchronously, one per group otherwise)
+	// without paying a CI runner's fsync latency.
+	Syncs uint64
+	// DataSyncs counts data/sidecar fsyncs after in-place apply.
+	DataSyncs uint64
+	// GroupCommits counts commit groups flushed by the group-commit
+	// committer; GroupedTxns sums their sizes, so GroupedTxns/GroupCommits
+	// is the mean group size.
+	GroupCommits uint64
+	GroupedTxns  uint64
+}
+
+// MeanGroupSize returns the average number of transactions per flushed
+// commit group (0 before the first group).
+func (w WALStats) MeanGroupSize() float64 {
+	if w.GroupCommits == 0 {
+		return 0
+	}
+	return float64(w.GroupedTxns) / float64(w.GroupCommits)
 }
 
 // WriteAmplification is physical bytes written (WAL + data + checksums)
@@ -78,7 +101,8 @@ func (w WALStats) WriteAmplification(blockSize int) float64 {
 
 // RecoveryInfo reports what OpenFile found in the write-ahead log.
 type RecoveryInfo struct {
-	Replayed       bool  // a committed transaction was applied at open
+	Replayed       bool  // one or more committed transactions were applied at open
+	ReplayedTxns   int   // committed transactions replayed (a group-commit prefix)
 	ReplayedFrames int   // block images the replay wrote
 	DiscardedBytes int64 // uncommitted WAL tail discarded at open
 	SidecarRebuilt bool  // the checksum sidecar was missing and rebuilt
@@ -115,9 +139,12 @@ type FileBackend struct {
 	walSize int64              // current WAL append offset
 
 	recovery RecoveryInfo
+	statsMu  sync.Mutex // stats are written by the committer goroutine too
 	stats    WALStats
 	obs      *obs.Registry // nil-safe
 	closed   bool
+
+	gc groupState // group-commit machinery (see group.go)
 }
 
 // CreateFile creates (or truncates) a file-backed store at path with the
@@ -447,51 +474,62 @@ func (fb *FileBackend) recoverHeaderFromWAL(path string, ctrl *CrashController) 
 		return corruptRegion("wal", "bad magic")
 	}
 	fb.blockSize = int(binary.LittleEndian.Uint32(data[8:12]))
-	txn, _, err := scanWAL(data, fb.blockSize)
+	txns, _, err := scanWAL(data, fb.blockSize)
 	if err != nil {
 		return err
 	}
-	if txn == nil {
+	if len(txns) == 0 {
 		return corruptRegion("header", "header unreadable and WAL holds no committed transaction")
 	}
-	fb.next = txn.hdr.next
-	fb.freeHead = txn.hdr.freeHead
-	fb.allocated = txn.hdr.allocated
-	fb.metaRoot = txn.hdr.metaRoot
-	fb.flags = txn.hdr.flags
+	// The last committed transaction carries the newest header state; the
+	// replay in recoverWAL (called by OpenFileOpts) rewrites the header
+	// from it.
+	last := txns[len(txns)-1]
+	fb.next = last.hdr.next
+	fb.freeHead = last.hdr.freeHead
+	fb.allocated = last.hdr.allocated
+	fb.metaRoot = last.hdr.metaRoot
+	fb.flags = last.hdr.flags
 	fb.walSize = walHeaderSize
-	// The replay in recoverWAL (called by OpenFileOpts) rewrites the
-	// header from this same transaction.
 	return nil
 }
 
-// recoverWAL scans the log and replays a committed transaction or
-// discards an uncommitted tail, leaving the WAL empty.
+// recoverWAL scans the log, replays every committed transaction in append
+// order (a group-commit crash leaves several), and discards an uncommitted
+// tail, leaving the WAL empty.
 func (fb *FileBackend) recoverWAL() error {
 	data, err := readAll(fb.wal)
 	if err != nil {
 		return err
 	}
-	txn, discarded, err := scanWAL(data, fb.blockSize)
+	txns, discarded, err := scanWAL(data, fb.blockSize)
 	if err != nil {
 		return err
 	}
 	fb.recovery.DiscardedBytes = discarded
-	if txn != nil {
-		fb.next = txn.hdr.next
-		fb.freeHead = txn.hdr.freeHead
-		fb.allocated = txn.hdr.allocated
-		fb.metaRoot = txn.hdr.metaRoot
-		fb.flags = txn.hdr.flags
-		if err := validateWALImages(txn, fb.blockSize); err != nil {
-			return err
-		}
-		for _, img := range txn.images {
-			if _, err := fb.f.WriteAt(img.data, fb.offset(img.id)); err != nil {
+	if len(txns) > 0 {
+		// Header state comes from the last commit record; each replayed
+		// image is pure physical redo, so replaying every transaction in
+		// order is idempotent and lands on the committed prefix exactly.
+		last := txns[len(txns)-1]
+		fb.next = last.hdr.next
+		fb.freeHead = last.hdr.freeHead
+		fb.allocated = last.hdr.allocated
+		fb.metaRoot = last.hdr.metaRoot
+		fb.flags = last.hdr.flags
+		frames := 0
+		for _, txn := range txns {
+			if err := validateWALImages(txn, fb.blockSize); err != nil {
 				return err
 			}
-			if err := fb.writeCRCEntry(img.id, checksum(img.data)); err != nil {
-				return err
+			for _, img := range txn.images {
+				if _, err := fb.f.WriteAt(img.data, fb.offset(img.id)); err != nil {
+					return err
+				}
+				if err := fb.writeCRCEntry(img.id, checksum(img.data)); err != nil {
+					return err
+				}
+				frames++
 			}
 		}
 		if err := fb.writeHeader(); err != nil {
@@ -506,7 +544,8 @@ func (fb *FileBackend) recoverWAL() error {
 			}
 		}
 		fb.recovery.Replayed = true
-		fb.recovery.ReplayedFrames = len(txn.images)
+		fb.recovery.ReplayedTxns = len(txns)
+		fb.recovery.ReplayedFrames = frames
 	}
 	if len(data) > walHeaderSize {
 		if err := fb.wal.Truncate(walHeaderSize); err != nil {
@@ -520,8 +559,13 @@ func (fb *FileBackend) recoverWAL() error {
 // RecoveryInfo reports what the open-time WAL scan found.
 func (fb *FileBackend) RecoveryInfo() RecoveryInfo { return fb.recovery }
 
-// WALStats reports cumulative durability I/O counters.
-func (fb *FileBackend) WALStats() WALStats { return fb.stats }
+// WALStats reports cumulative durability I/O counters. Safe to call
+// concurrently with a running group committer.
+func (fb *FileBackend) WALStats() WALStats {
+	fb.statsMu.Lock()
+	defer fb.statsMu.Unlock()
+	return fb.stats
+}
 
 // ChecksumsEnabled reports whether per-block CRCs are verified on read.
 func (fb *FileBackend) ChecksumsEnabled() bool { return fb.flags&flagChecksums != 0 }
@@ -540,19 +584,28 @@ func (fb *FileBackend) Path() string { return fb.path }
 func (fb *FileBackend) SetObserver(r *obs.Registry) { fb.obs = r }
 
 func (fb *FileBackend) writeHeader() error {
+	return fb.writeHeaderState(fb.headerState())
+}
+
+// writeHeaderState writes a specific header snapshot in place — the group
+// committer persists the last *committed* transaction's header, which may
+// trail the live in-memory fields.
+func (fb *FileBackend) writeHeaderState(st walHeaderState) error {
 	hdr := make([]byte, fileHeaderSize)
 	copy(hdr[:8], fileMagic[:])
 	binary.LittleEndian.PutUint32(hdr[8:12], uint32(fb.blockSize))
-	binary.LittleEndian.PutUint64(hdr[12:20], uint64(fb.next))
-	binary.LittleEndian.PutUint64(hdr[20:28], uint64(fb.freeHead))
-	binary.LittleEndian.PutUint64(hdr[28:36], fb.allocated)
-	binary.LittleEndian.PutUint64(hdr[36:44], uint64(fb.metaRoot))
-	binary.LittleEndian.PutUint32(hdr[44:48], fb.flags)
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(st.next))
+	binary.LittleEndian.PutUint64(hdr[20:28], uint64(st.freeHead))
+	binary.LittleEndian.PutUint64(hdr[28:36], st.allocated)
+	binary.LittleEndian.PutUint64(hdr[36:44], uint64(st.metaRoot))
+	binary.LittleEndian.PutUint32(hdr[44:48], st.flags)
 	binary.LittleEndian.PutUint32(hdr[48:52], checksum(hdr[:48]))
 	_, err := fb.f.WriteAt(hdr, 0)
 	if err == nil {
+		fb.statsMu.Lock()
 		fb.stats.HeaderWrites++
 		fb.stats.DataBytes += fileHeaderSize
+		fb.statsMu.Unlock()
 	}
 	return err
 }
@@ -585,8 +638,24 @@ func (fb *FileBackend) offset(id BlockID) int64 {
 	return int64(id) * int64(fb.blockSize)
 }
 
+// sync fsyncs one of the store's files, counting the call (WAL vs data)
+// before the NoSync short-circuit so the fsync *pattern* stays measurable
+// in fsync-free benchmark runs.
 func (fb *FileBackend) sync(f blockFile) error {
-	if fb.nosync || f == nil {
+	if f == nil {
+		return nil
+	}
+	fb.statsMu.Lock()
+	if f == fb.wal {
+		fb.stats.Syncs++
+	} else {
+		fb.stats.DataSyncs++
+	}
+	fb.statsMu.Unlock()
+	if f == fb.wal {
+		fb.obs.Inc(obs.CtrPagerWALSyncs)
+	}
+	if fb.nosync {
 		return nil
 	}
 	return f.Sync()
@@ -711,6 +780,12 @@ func (fb *FileBackend) commitImplicit(stage map[BlockID][]byte) error {
 // (the transaction is durable even if the apply was cut short — recovery
 // will finish it).
 func (fb *FileBackend) commit(stage map[BlockID][]byte, pre walHeaderState) error {
+	if fb.gc.on.Load() {
+		// While group commit runs every commit funnels through the
+		// committer goroutine — the WAL's single appender — and this
+		// synchronous path just waits for its group.
+		return fb.gcSyncCommit(stage)
+	}
 	images := sortedImages(stage)
 
 	// Phase 1: log. Each frame is one raw write, then the commit record,
@@ -735,9 +810,11 @@ func (fb *FileBackend) commit(stage map[BlockID][]byte, pre walHeaderState) erro
 		return err
 	}
 	fb.walSize += int64(logged)
+	fb.statsMu.Lock()
 	fb.stats.Commits++
 	fb.stats.Frames += uint64(len(images))
 	fb.stats.WALBytes += uint64(logged)
+	fb.statsMu.Unlock()
 	fb.obs.Inc(obs.CtrPagerWALCommits)
 	fb.obs.Add(obs.CtrPagerWALFrames, uint64(len(images)))
 
@@ -747,7 +824,9 @@ func (fb *FileBackend) commit(stage map[BlockID][]byte, pre walHeaderState) erro
 		if _, err := fb.f.WriteAt(img.data, fb.offset(img.id)); err != nil {
 			return err
 		}
+		fb.statsMu.Lock()
 		fb.stats.DataBytes += uint64(len(img.data))
+		fb.statsMu.Unlock()
 		if err := fb.writeCRCEntry(img.id, checksum(img.data)); err != nil {
 			return err
 		}
@@ -770,7 +849,9 @@ func (fb *FileBackend) commit(stage map[BlockID][]byte, pre walHeaderState) erro
 		return err
 	}
 	fb.walSize = walHeaderSize
+	fb.statsMu.Lock()
 	fb.stats.Truncations++
+	fb.statsMu.Unlock()
 	return nil
 }
 
@@ -790,13 +871,19 @@ func sortedImages(stage map[BlockID][]byte) []walImage {
 	return images
 }
 
-// readRaw fetches a block image, preferring the open batch's staged copy.
+// readRaw fetches a block image: the open batch's staged copy first, then
+// the group-commit overlay (transactions committed to the queue but not
+// yet applied in place — consulting it keeps concurrent readers off blocks
+// the committer is mid-overwrite), then the data file.
 func (fb *FileBackend) readRaw(id BlockID, buf []byte) error {
 	if fb.inBatch {
 		if img, ok := fb.stage[id]; ok {
 			copy(buf, img)
 			return nil
 		}
+	}
+	if fb.gcReadOverlay(id, buf) {
+		return nil
 	}
 	if _, err := fb.f.ReadAt(buf, fb.offset(id)); err != nil {
 		return err
@@ -935,14 +1022,18 @@ func (fb *FileBackend) WriteBlock(id BlockID, buf []byte) error {
 	if len(buf) != fb.blockSize {
 		return fmt.Errorf("pager: write buffer of %d bytes, want %d", len(buf), fb.blockSize)
 	}
+	fb.statsMu.Lock()
 	fb.stats.LogicalWrites++
+	fb.statsMu.Unlock()
 	if fb.WALEnabled() {
 		return fb.stageWrite(id, buf)
 	}
 	if _, err := fb.f.WriteAt(buf, fb.offset(id)); err != nil {
 		return err
 	}
+	fb.statsMu.Lock()
 	fb.stats.DataBytes += uint64(len(buf))
+	fb.statsMu.Unlock()
 	return fb.writeCRCEntry(id, checksum(buf))
 }
 
@@ -1016,7 +1107,10 @@ func (fb *FileBackend) Close() error {
 	if fb.inBatch {
 		fb.AbortBatch()
 	}
-	err := fb.Sync()
+	err := fb.StopGroupCommit() // drains and flushes any queued groups
+	if serr := fb.Sync(); err == nil {
+		err = serr
+	}
 	fb.closed = true
 	if cerr := fb.f.Close(); err == nil {
 		err = cerr

@@ -1,0 +1,441 @@
+package pager
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"boxes/internal/obs"
+)
+
+// Group commit amortizes the WAL fsync — the dominant cost of the durable
+// path — over concurrently committing transactions. Instead of running the
+// three-phase commit protocol inline, CommitBatchAsync hands the staged
+// images plus a header snapshot to a dedicated committer goroutine and
+// returns a CommitTicket. The committer drains its queue into one group:
+//
+//  1. Append every queued transaction's block frames and its own commit
+//     record to the WAL, then fsync once — the group's shared durability
+//     point.
+//  2. Apply the newest image of each touched block in place (a block
+//     written by several transactions in the group is applied once),
+//     write the last transaction's header, fsync data and sidecar.
+//  3. Truncate the WAL and resolve every ticket.
+//
+// Because each transaction keeps its own commit record, a crash anywhere
+// inside phase 1 leaves a clean *prefix* of the group: recovery replays
+// the transactions whose commit records are complete and discards the
+// torn tail. No interleaving can surface a partial transaction.
+//
+// Between enqueue and phase 2 the committed images live in an overlay map
+// consulted by readRaw, so the enqueuing writer immediately reads its own
+// committed state and concurrent shared-path readers never observe a block
+// mid-overwrite. Entries are removed — under the same lock — only after
+// the in-place write completes, which orders "file holds the new image"
+// before "readers go to the file".
+//
+// Latency policy: a transaction that finds the queue empty and the
+// committer idle is marked solo and commits immediately (the sync
+// fallback — an uncontended writer pays no added latency). Otherwise the
+// committer waits for up to Durability.Every transactions or MaxDelay,
+// whichever comes first.
+
+// Durability tunes the group committer started by StartGroupCommit.
+type Durability struct {
+	// Every is the target group size: the committer flushes as soon as
+	// this many transactions are queued. Values <= 1 disable the
+	// coalescing wait — each flush takes whatever the queue holds.
+	Every int
+	// MaxDelay bounds how long a queued transaction waits for company
+	// before the group flushes anyway (default 2ms when Every > 1).
+	MaxDelay time.Duration
+}
+
+// defaultMaxDelay is the coalescing window when Durability.MaxDelay is 0.
+const defaultMaxDelay = 2 * time.Millisecond
+
+// CommitTicket is the handle to one asynchronously committing transaction.
+// The zero ticket is not meaningful; a nil *CommitTicket waits as resolved
+// success, so synchronous paths can hand out nil.
+type CommitTicket struct {
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks until the transaction's group is durable and applied, and
+// returns the commit error if the group failed.
+func (t *CommitTicket) Wait() error {
+	if t == nil {
+		return nil
+	}
+	<-t.done
+	return t.err
+}
+
+// Done returns a channel closed when the ticket resolves (select-friendly
+// form of Wait). Err is valid only after Done is closed.
+func (t *CommitTicket) Done() <-chan struct{} { return t.done }
+
+// Err returns the commit error; call only after Wait or Done.
+func (t *CommitTicket) Err() error {
+	if t == nil {
+		return nil
+	}
+	return t.err
+}
+
+func resolvedTicket(err error) *CommitTicket {
+	t := &CommitTicket{done: make(chan struct{}), err: err}
+	close(t.done)
+	return t
+}
+
+// AsyncTxBackend is implemented by backends whose batches can commit
+// asynchronously through a group committer (FileBackend after
+// StartGroupCommit). Store.EndOp prefers CommitBatchAsync when
+// GroupCommitEnabled reports true, parking the ticket for TakeTicket.
+type AsyncTxBackend interface {
+	TxBackend
+	// GroupCommitEnabled reports whether a committer goroutine is running.
+	GroupCommitEnabled() bool
+	// CommitBatchAsync is CommitBatch minus the inline fsync: the batch is
+	// queued for the committer and the returned ticket resolves when it is
+	// durable and applied. A read-only batch resolves immediately.
+	CommitBatchAsync() (*CommitTicket, error)
+}
+
+// groupTxn is one queued transaction awaiting its group.
+type groupTxn struct {
+	images []walImage     // sorted staged images
+	hdr    walHeaderState // header snapshot at enqueue (commit-record payload)
+	seq    uint64
+	solo   bool // queue was empty and committer idle at enqueue
+	ticket *CommitTicket
+}
+
+// overlayEntry is a committed-but-not-yet-applied block image.
+type overlayEntry struct {
+	data []byte
+	seq  uint64
+}
+
+// groupState is the committer's shared state, embedded in FileBackend.
+type groupState struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	on       atomic.Bool // fast-path check for readRaw and commit routing
+	dur      Durability
+	queue    []*groupTxn
+	overlay  map[BlockID]overlayEntry
+	seq      uint64
+	inflight int  // transactions currently being flushed
+	hold     bool // test hook: committer pauses before taking a group
+	stop     bool
+	err      error // sticky: first committer failure poisons later commits
+	done     chan struct{}
+}
+
+// StartGroupCommit launches the committer goroutine. It requires the WAL
+// (the group protocol is a WAL protocol) and no open batch. Durability
+// zero values get defaults; see Durability.
+func (fb *FileBackend) StartGroupCommit(d Durability) error {
+	if fb.closed {
+		return ErrClosed
+	}
+	if !fb.WALEnabled() {
+		return errors.New("pager: group commit requires the write-ahead log")
+	}
+	if fb.inBatch {
+		return errors.New("pager: group commit started inside an open batch")
+	}
+	gc := &fb.gc
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	if gc.on.Load() {
+		return errors.New("pager: group commit already running")
+	}
+	if gc.cond == nil {
+		gc.cond = sync.NewCond(&gc.mu)
+	}
+	if d.Every > 1 && d.MaxDelay <= 0 {
+		d.MaxDelay = defaultMaxDelay
+	}
+	gc.dur = d
+	gc.overlay = make(map[BlockID]overlayEntry, 32)
+	gc.stop = false
+	gc.err = nil
+	gc.done = make(chan struct{})
+	gc.on.Store(true)
+	go fb.committer()
+	return nil
+}
+
+// StopGroupCommit drains the queue, flushes a final group if needed, and
+// stops the committer. It returns the sticky committer error, if any.
+// Afterwards commits run synchronously again.
+func (fb *FileBackend) StopGroupCommit() error {
+	gc := &fb.gc
+	gc.mu.Lock()
+	if !gc.on.Load() {
+		gc.mu.Unlock()
+		return nil
+	}
+	gc.stop = true
+	gc.cond.Broadcast()
+	done := gc.done
+	gc.mu.Unlock()
+	<-done
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	gc.on.Store(false)
+	gc.stop = false
+	return gc.err
+}
+
+// GroupCommitEnabled implements AsyncTxBackend.
+func (fb *FileBackend) GroupCommitEnabled() bool { return fb.gc.on.Load() }
+
+// HoldGroupCommit pauses (true) or resumes (false) the committer before it
+// takes its next group. Test hook: holding, enqueuing N transactions, and
+// releasing yields one deterministic group of N.
+func (fb *FileBackend) HoldGroupCommit(hold bool) {
+	gc := &fb.gc
+	gc.mu.Lock()
+	gc.hold = hold
+	if gc.cond != nil {
+		gc.cond.Broadcast()
+	}
+	gc.mu.Unlock()
+}
+
+// CommitBatchAsync implements AsyncTxBackend. Without a running committer
+// it degenerates to CommitBatch and returns a resolved ticket.
+func (fb *FileBackend) CommitBatchAsync() (*CommitTicket, error) {
+	if !fb.inBatch {
+		return resolvedTicket(nil), nil
+	}
+	if !fb.gc.on.Load() {
+		err := fb.CommitBatch()
+		return resolvedTicket(err), err
+	}
+	fb.inBatch = false
+	stage := fb.stage
+	fb.stage = nil
+	if len(stage) == 0 && fb.headerState() == fb.snap {
+		return resolvedTicket(nil), nil // read-only batch: nothing to commit
+	}
+	return fb.gcEnqueue(sortedImages(stage)), nil
+}
+
+// gcEnqueue hands a transaction (its sorted images plus the current header
+// snapshot) to the committer. Must be called from the exclusive writer.
+func (fb *FileBackend) gcEnqueue(images []walImage) *CommitTicket {
+	gc := &fb.gc
+	t := &CommitTicket{done: make(chan struct{})}
+	gc.mu.Lock()
+	if gc.err != nil {
+		err := gc.err
+		gc.mu.Unlock()
+		t.err = err
+		close(t.done)
+		return t
+	}
+	gc.seq++
+	txn := &groupTxn{
+		images: images,
+		hdr:    fb.headerState(),
+		seq:    gc.seq,
+		solo:   len(gc.queue) == 0 && gc.inflight == 0,
+		ticket: t,
+	}
+	for _, img := range images {
+		gc.overlay[img.id] = overlayEntry{data: img.data, seq: txn.seq}
+	}
+	gc.queue = append(gc.queue, txn)
+	gc.cond.Broadcast()
+	gc.mu.Unlock()
+	return t
+}
+
+// gcReadOverlay copies a committed-but-unapplied image of id into buf,
+// reporting whether one exists. Safe from concurrent reader goroutines.
+func (fb *FileBackend) gcReadOverlay(id BlockID, buf []byte) bool {
+	gc := &fb.gc
+	if !gc.on.Load() {
+		return false
+	}
+	gc.mu.Lock()
+	e, ok := gc.overlay[id]
+	if ok {
+		copy(buf, e.data)
+	}
+	gc.mu.Unlock()
+	return ok
+}
+
+// gcSyncCommit routes a synchronous commit request (Sync, SetMetaRoot or a
+// single out-of-batch write) through the committer and waits for it, so
+// the WAL has exactly one appender while group commit runs.
+func (fb *FileBackend) gcSyncCommit(stage map[BlockID][]byte) error {
+	return fb.gcEnqueue(sortedImages(stage)).Wait()
+}
+
+// gcTimedWake broadcasts the committer's condition variable after d, so a
+// cond.Wait can honor the MaxDelay deadline.
+func (fb *FileBackend) gcTimedWake(d time.Duration) *time.Timer {
+	return time.AfterFunc(d, func() {
+		fb.gc.mu.Lock()
+		fb.gc.cond.Broadcast()
+		fb.gc.mu.Unlock()
+	})
+}
+
+// committer is the group-commit loop: wait for work, optionally linger for
+// company, flush the group, resolve tickets.
+func (fb *FileBackend) committer() {
+	gc := &fb.gc
+	defer close(gc.done)
+	for {
+		gc.mu.Lock()
+		for (len(gc.queue) == 0 || gc.hold) && !gc.stop {
+			gc.cond.Wait()
+		}
+		if len(gc.queue) == 0 && gc.stop {
+			gc.mu.Unlock()
+			return
+		}
+		// Coalescing wait: unless the head transaction was alone at
+		// enqueue (solo → sync fallback), give followers up to MaxDelay
+		// to fill the group to Every.
+		if n := gc.dur.Every; n > 1 && !gc.stop && !gc.hold && !gc.queue[0].solo && len(gc.queue) < n {
+			deadline := time.Now().Add(gc.dur.MaxDelay)
+			timer := fb.gcTimedWake(gc.dur.MaxDelay)
+			for len(gc.queue) < n && !gc.stop && !gc.hold && time.Now().Before(deadline) {
+				gc.cond.Wait()
+			}
+			timer.Stop()
+		}
+		group := gc.queue
+		gc.queue = nil
+		gc.inflight = len(group)
+		prevErr := gc.err
+		gc.mu.Unlock()
+
+		err := prevErr
+		if err == nil {
+			err = fb.applyGroup(group)
+		}
+
+		gc.mu.Lock()
+		if err != nil && gc.err == nil {
+			gc.err = err
+		}
+		if err == nil {
+			// Drop overlay entries the apply made visible in the file.
+			// An entry re-staged by a *newer* transaction (higher seq)
+			// stays: its image is not on disk yet.
+			maxSeq := group[len(group)-1].seq
+			for _, txn := range group {
+				for _, img := range txn.images {
+					if e, ok := gc.overlay[img.id]; ok && e.seq <= maxSeq {
+						delete(gc.overlay, img.id)
+					}
+				}
+			}
+		}
+		gc.inflight = 0
+		gc.cond.Broadcast()
+		gc.mu.Unlock()
+
+		for _, txn := range group {
+			txn.ticket.err = err
+			close(txn.ticket.done)
+		}
+	}
+}
+
+// applyGroup runs the WAL protocol for a whole group: every transaction's
+// frames and commit record, one fsync, a deduplicated in-place apply, the
+// last transaction's header, and the log reset. Runs only on the committer
+// goroutine — the sole WAL appender while group commit is on.
+func (fb *FileBackend) applyGroup(group []*groupTxn) error {
+	// Phase 1: log the group, fsync once.
+	start := fb.walSize
+	logged := 0
+	frames := 0
+	for _, txn := range group {
+		for _, img := range txn.images {
+			frame := encodeWALFrame(img.id, img.data)
+			if _, err := fb.wal.WriteAt(frame, start+int64(logged)); err != nil {
+				return err
+			}
+			logged += len(frame)
+			frames++
+		}
+		cf := encodeWALCommit(len(txn.images), txn.hdr)
+		if _, err := fb.wal.WriteAt(cf, start+int64(logged)); err != nil {
+			return err
+		}
+		logged += len(cf)
+	}
+	if err := fb.sync(fb.wal); err != nil {
+		return err
+	}
+	fb.walSize += int64(logged)
+	fb.statsMu.Lock()
+	fb.stats.Commits += uint64(len(group))
+	fb.stats.Frames += uint64(frames)
+	fb.stats.WALBytes += uint64(logged)
+	fb.stats.GroupCommits++
+	fb.stats.GroupedTxns += uint64(len(group))
+	fb.statsMu.Unlock()
+	fb.obs.Add(obs.CtrPagerWALCommits, uint64(len(group)))
+	fb.obs.Add(obs.CtrPagerWALFrames, uint64(frames))
+	fb.obs.Inc(obs.CtrPagerWALGroups)
+
+	// Phase 2: apply in place, newest image per block. Failures past the
+	// fsync leave committed transactions in the WAL; recovery replays them.
+	merged := make(map[BlockID][]byte, frames)
+	for _, txn := range group {
+		for _, img := range txn.images {
+			merged[img.id] = img.data
+		}
+	}
+	for _, img := range sortedImages(merged) {
+		if _, err := fb.f.WriteAt(img.data, fb.offset(img.id)); err != nil {
+			return err
+		}
+		fb.statsMu.Lock()
+		fb.stats.DataBytes += uint64(len(img.data))
+		fb.statsMu.Unlock()
+		if err := fb.writeCRCEntry(img.id, checksum(img.data)); err != nil {
+			return err
+		}
+	}
+	if err := fb.writeHeaderState(group[len(group)-1].hdr); err != nil {
+		return err
+	}
+	if err := fb.sync(fb.f); err != nil {
+		return err
+	}
+	if fb.crc != nil {
+		if err := fb.sync(fb.crc); err != nil {
+			return err
+		}
+	}
+
+	// Phase 3: reset the log. Only the committer appends while group
+	// commit runs, so everything logged is now applied; losing the
+	// truncate to a crash just replays the group — idempotent redo.
+	if err := fb.wal.Truncate(walHeaderSize); err != nil {
+		return err
+	}
+	fb.walSize = walHeaderSize
+	fb.statsMu.Lock()
+	fb.stats.Truncations++
+	fb.statsMu.Unlock()
+	return nil
+}
+
+var _ AsyncTxBackend = (*FileBackend)(nil)

@@ -34,6 +34,10 @@ func (s *Store) CollectGauges() []obs.GaugeValue {
 			obs.G("pager_wal_write_amplification",
 				"Physical bytes written (WAL + data + header) per logical block byte.",
 				st.WriteAmplification(s.backend.BlockSize())),
+			obs.G("pager_wal_syncs", "Write-ahead log fsyncs (durability points).", float64(st.Syncs)),
+			obs.G("pager_wal_data_syncs", "Data/sidecar fsyncs after in-place apply.", float64(st.DataSyncs)),
+			obs.G("pager_wal_group_commits", "Commit groups flushed by the group committer.", float64(st.GroupCommits)),
+			obs.G("pager_wal_group_size", "Mean transactions per flushed commit group.", st.MeanGroupSize()),
 		)
 	}
 	return gs

@@ -1,10 +1,16 @@
 package pager
 
-import "container/list"
+import (
+	"container/list"
+	"sync"
+)
 
 // lruCache is a fixed-capacity least-recently-used block cache. It stores
-// private copies of block contents keyed by BlockID.
+// private copies of block contents keyed by BlockID. All methods are safe
+// for concurrent use: the shared read path hits the cache from many reader
+// goroutines at once.
 type lruCache struct {
+	mu       sync.Mutex
 	capacity int
 	order    *list.List // front = most recently used; values are *lruEntry
 	index    map[BlockID]*list.Element
@@ -23,16 +29,25 @@ func newLRUCache(capacity int) *lruCache {
 	}
 }
 
+// get copies the cached block into a fresh slice (returning the interior
+// slice would hand concurrent readers a buffer a later put may overwrite).
 func (c *lruCache) get(id BlockID) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	el, ok := c.index[id]
 	if !ok {
 		return nil, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*lruEntry).data, true
+	e := el.Value.(*lruEntry)
+	cp := make([]byte, len(e.data))
+	copy(cp, e.data)
+	return cp, true
 }
 
 func (c *lruCache) put(id BlockID, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if el, ok := c.index[id]; ok {
 		e := el.Value.(*lruEntry)
 		if &e.data[0] != &data[0] {
@@ -53,10 +68,16 @@ func (c *lruCache) put(id BlockID, data []byte) {
 }
 
 func (c *lruCache) drop(id BlockID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if el, ok := c.index[id]; ok {
 		c.order.Remove(el)
 		delete(c.index, id)
 	}
 }
 
-func (c *lruCache) len() int { return c.order.Len() }
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -23,7 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"boxes/internal/obs"
 )
@@ -83,9 +83,10 @@ type Backend interface {
 }
 
 // TxBackend is implemented by backends that can make a batch of writes
-// atomic (FileBackend with its write-ahead log). Store brackets each
-// outermost BeginOp/EndOp pair in a batch, so one logical operation
-// becomes one all-or-nothing transaction on disk.
+// atomic (FileBackend with its write-ahead log). Store opens a batch lazily
+// at the first mutation inside an outermost BeginOp/EndOp pair and commits
+// it at EndOp, so one mutating logical operation becomes one all-or-nothing
+// transaction on disk while read-only operations touch no batch state.
 type TxBackend interface {
 	Backend
 	// BeginBatch starts staging writes. It performs no I/O and cannot fail.
@@ -111,17 +112,30 @@ type opBlock struct {
 }
 
 // Store wraps a Backend with I/O accounting, per-operation pinning, and an
-// optional global LRU cache. A Store is safe for use by a single goroutine
-// at a time; the mutex only protects the statistics counters so that
-// concurrent readers of Stats see consistent values.
+// optional global LRU cache.
+//
+// A Store is safe for use by a single goroutine at a time by default. With
+// SetShared(true) it additionally supports one writer XOR many concurrent
+// readers, provided the caller enforces that discipline with its own
+// read/write lock (core.SyncStore does): the I/O counters are atomic, the
+// LRU cache locks internally, and operations outside a BeginWrite bracket
+// skip the per-op pin map entirely.
 type Store struct {
-	mu      sync.Mutex
 	backend Backend
-	stats   IOStats
+	reads   atomic.Uint64
+	writes  atomic.Uint64
 	cache   *lruCache
 	obs     *obs.Registry // optional; nil-safe via obs method receivers
-	op      map[BlockID]*opBlock
-	opDepth int
+
+	// Writer-side state: guarded by the caller's exclusive section (the
+	// single-goroutine contract, or a SyncStore write lock).
+	op        map[BlockID]*opBlock
+	opDepth   int
+	batchOpen bool          // a TxBackend batch is open (lazily, at first mutation)
+	ticket    *CommitTicket // pending group-commit ticket from the last EndOp
+
+	shared  bool        // shared read mode enabled (SetShared)
+	writing atomic.Bool // inside a BeginWrite/EndWrite bracket
 	closed  bool
 }
 
@@ -206,47 +220,78 @@ func (s *Store) countIOError(err error) {
 
 // Stats returns a snapshot of the I/O counters.
 func (s *Store) Stats() IOStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return IOStats{Reads: s.reads.Load(), Writes: s.writes.Load()}
 }
 
 // ResetStats zeroes the I/O counters.
 func (s *Store) ResetStats() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats = IOStats{}
+	s.reads.Store(0)
+	s.writes.Store(0)
 }
 
-func (s *Store) countRead() {
-	s.mu.Lock()
-	s.stats.Reads++
-	s.mu.Unlock()
-}
+func (s *Store) countRead()  { s.reads.Add(1) }
+func (s *Store) countWrite() { s.writes.Add(1) }
 
-func (s *Store) countWrite() {
-	s.mu.Lock()
-	s.stats.Writes++
-	s.mu.Unlock()
-}
+// SetShared enables (or disables) the shared read path. When on, BeginOp,
+// EndOp and AbortOp called outside a BeginWrite/EndWrite bracket are
+// no-ops, so reader goroutines run lookups without touching the per-op pin
+// map or the backend's batch state. The caller must serialize writers
+// against readers itself (core.SyncStore's RWMutex); SetShared must be
+// called before any concurrency starts. Reader operations are unpinned:
+// a block revisited within one lookup is re-counted, so shared-mode
+// counted I/O is an upper bound on the paper's pinned accounting.
+func (s *Store) SetShared(on bool) { s.shared = on }
+
+// BeginWrite marks the start of an exclusive writer section (the caller
+// must hold its write lock). Inside the bracket BeginOp/EndOp behave
+// normally: blocks pin, dirty blocks flush once, and the backend batch
+// commits atomically.
+func (s *Store) BeginWrite() { s.writing.Store(true) }
+
+// EndWrite ends the bracket opened by BeginWrite.
+func (s *Store) EndWrite() { s.writing.Store(false) }
+
+// readerOp reports whether the current call runs outside the writer
+// bracket in shared mode and must therefore skip per-op state.
+func (s *Store) readerOp() bool { return s.shared && !s.writing.Load() }
 
 // BeginOp starts a logical operation. Until the matching EndOp, each block
 // is fetched from (and counted against) the backend at most once, and dirty
 // blocks are flushed once at EndOp. Calls nest; only the outermost pair
 // delimits the pinned region.
+//
+// The backend batch is NOT opened here: it starts lazily at the first
+// mutation (Allocate, Free, or a staged Write), so read-only operations —
+// including every lookup on the shared read path — never touch the
+// TxBackend's batch state.
 func (s *Store) BeginOp() {
+	if s.readerOp() {
+		return
+	}
 	if s.opDepth == 0 {
 		s.op = make(map[BlockID]*opBlock, 16)
-		if tx, ok := s.backend.(TxBackend); ok {
-			tx.BeginBatch()
-		}
 	}
 	s.opDepth++
+}
+
+// ensureBatch opens the backend batch if an operation is in progress and a
+// mutation is about to happen. Idempotent per operation.
+func (s *Store) ensureBatch() {
+	if s.opDepth == 0 || s.batchOpen {
+		return
+	}
+	if tx, ok := s.backend.(TxBackend); ok {
+		tx.BeginBatch()
+		s.batchOpen = true
+	}
 }
 
 // EndOp ends the current logical operation, flushing and counting dirty
 // blocks. It returns the first flush error encountered, if any.
 func (s *Store) EndOp() error {
+	if s.readerOp() {
+		return nil
+	}
 	if s.opDepth == 0 {
 		return errors.New("pager: EndOp without BeginOp")
 	}
@@ -288,15 +333,54 @@ func (s *Store) EndOp() error {
 		}
 	}
 	s.op = nil
-	if tx, ok := s.backend.(TxBackend); ok {
+	if s.batchOpen {
+		s.batchOpen = false
+		tx := s.backend.(TxBackend)
 		if firstErr != nil {
 			tx.AbortBatch()
+		} else if atx, ok := tx.(AsyncTxBackend); ok && atx.GroupCommitEnabled() {
+			t, err := atx.CommitBatchAsync()
+			if err != nil {
+				s.countIOError(err)
+				firstErr = err
+			}
+			s.ticket = t
 		} else if err := tx.CommitBatch(); err != nil {
 			s.countIOError(err)
 			firstErr = err
 		}
 	}
 	return firstErr
+}
+
+// AbortOp abandons the current logical operation at any nesting depth:
+// pinned blocks and staged writes are dropped and the backend batch rolls
+// back, leaving the store at the state of the last committed operation.
+// Used by batch executors whose partial work must not reach disk.
+func (s *Store) AbortOp() {
+	if s.readerOp() || s.opDepth == 0 {
+		return
+	}
+	s.opDepth = 0
+	s.op = nil
+	if s.batchOpen {
+		s.batchOpen = false
+		if tx, ok := s.backend.(TxBackend); ok {
+			tx.AbortBatch()
+		}
+	}
+}
+
+// TakeTicket returns (and clears) the commit ticket of the most recent
+// EndOp, or nil when the last operation committed synchronously. With
+// group commit enabled the operation is durable only once the ticket's
+// Wait returns; callers that must not lose acknowledged updates wait on
+// it — ideally after releasing their locks, so concurrent transactions
+// coalesce into one fsync.
+func (s *Store) TakeTicket() *CommitTicket {
+	t := s.ticket
+	s.ticket = nil
+	return t
 }
 
 // EndOpInto ends the current logical operation like EndOp, storing any
@@ -324,6 +408,7 @@ func (s *Store) Allocate() (BlockID, error) {
 	if s.closed {
 		return NilBlock, ErrClosed
 	}
+	s.ensureBatch()
 	id, err := s.backend.Allocate()
 	if err != nil {
 		s.countIOError(err)
@@ -344,6 +429,7 @@ func (s *Store) Free(id BlockID) error {
 	if s.closed {
 		return ErrClosed
 	}
+	s.ensureBatch()
 	if s.opDepth > 0 {
 		if ob, ok := s.op[id]; ok {
 			ob.freed = true
@@ -381,19 +467,18 @@ func (s *Store) Read(id BlockID) ([]byte, error) {
 			return ob.data, nil
 		}
 	}
-	buf := make([]byte, s.backend.BlockSize())
 	if s.cache != nil {
 		if data, ok := s.cache.get(id); ok {
+			// get returns a private copy, safe to hand out directly.
 			s.obs.Inc(obs.CtrPagerCacheHits)
-			copy(buf, data)
 			if s.opDepth > 0 {
-				ob := &opBlock{data: buf}
-				s.op[id] = ob
+				s.op[id] = &opBlock{data: data}
 			}
-			return buf, nil
+			return data, nil
 		}
 		s.obs.Inc(obs.CtrPagerCacheMisses)
 	}
+	buf := make([]byte, s.backend.BlockSize())
 	if err := s.backend.ReadBlock(id, buf); err != nil {
 		s.countIOError(err)
 		return nil, err
@@ -421,6 +506,7 @@ func (s *Store) Write(id BlockID, buf []byte) error {
 		return fmt.Errorf("pager: write of %d bytes, want %d", len(buf), s.backend.BlockSize())
 	}
 	if s.opDepth > 0 {
+		s.ensureBatch() // a dirty block will flush into the backend at EndOp
 		if ob, ok := s.op[id]; ok {
 			if ob.freed {
 				return fmt.Errorf("pager: write of freed block %d", id)

@@ -15,12 +15,18 @@ import (
 //     sidecar, write the header, fsync data and sidecar.
 //  4. Truncate the WAL back to its header.
 //
-// Recovery at open scans the WAL: a complete committed transaction is
-// replayed (step 3 may have been interrupted anywhere — replay is pure
-// physical redo and idempotent), an incomplete tail is discarded (the cut
-// came before the commit fsync, so the operation never happened). A frame
-// whose checksum fails inside a *committed* transaction is real corruption
-// and surfaces as ErrCorrupt rather than being silently dropped.
+// Recovery at open scans the WAL: every complete committed transaction is
+// replayed in order (step 3 may have been interrupted anywhere — replay is
+// pure physical redo and idempotent), an incomplete tail is discarded (the
+// cut came before the commit fsync, so the operation never happened). A
+// frame whose checksum fails inside a *committed* transaction is real
+// corruption and surfaces as ErrCorrupt rather than being silently dropped.
+//
+// Group commit (see group.go) appends several transactions — each with its
+// own commit record — before a single fsync, and defers the truncate, so
+// the log legitimately holds a sequence of committed transactions. A crash
+// anywhere inside the group leaves exactly the committed prefix: scanWAL
+// returns the transactions in append order and recovery replays them all.
 
 // walMagic identifies a FileBackend write-ahead log file.
 var walMagic = [8]byte{'B', 'O', 'X', 'W', 'A', 'L', '0', '1'}
@@ -116,12 +122,14 @@ func readAll(f blockFile) ([]byte, error) {
 	}
 }
 
-// scanWAL parses a WAL file's contents (header included). It returns the
-// last complete committed transaction (nil if none), the number of trailing
-// bytes belonging to an uncommitted tail, and an error when a committed
-// transaction is unreadable (bit rot inside fsynced frames) or the WAL
-// header itself is invalid.
-func scanWAL(data []byte, blockSize int) (txn *walTxn, discarded int64, err error) {
+// scanWAL parses a WAL file's contents (header included). It returns every
+// complete committed transaction in append order (nil if none), the number
+// of trailing bytes belonging to an uncommitted tail, and an error when a
+// committed transaction is unreadable (bit rot inside fsynced frames) or
+// the WAL header itself is invalid. With group commit the log routinely
+// holds several committed transactions; replaying them in order — pure
+// idempotent physical redo — reconstructs exactly the committed prefix.
+func scanWAL(data []byte, blockSize int) (txns []*walTxn, discarded int64, err error) {
 	if len(data) < walHeaderSize {
 		// Truncated below its own header: treat as empty (a crash during
 		// WAL creation, before anything could have committed).
@@ -145,7 +153,7 @@ func scanWAL(data []byte, blockSize int) (txn *walTxn, discarded int64, err erro
 		switch data[pos] {
 		case walKindBlock:
 			if pos+frameSize > len(data) {
-				return txn, int64(len(data) - lastCommitEnd), nil // torn tail
+				return txns, int64(len(data) - lastCommitEnd), nil // torn tail
 			}
 			frame := data[pos : pos+frameSize]
 			if checksum(frame[:frameSize-4]) != binary.LittleEndian.Uint32(frame[frameSize-4:]) {
@@ -163,11 +171,11 @@ func scanWAL(data []byte, blockSize int) (txn *walTxn, discarded int64, err erro
 			pos += frameSize
 		case walKindCommit:
 			if pos+walCommitSize > len(data) {
-				return txn, int64(len(data) - lastCommitEnd), nil // torn tail
+				return txns, int64(len(data) - lastCommitEnd), nil // torn tail
 			}
 			frame := data[pos : pos+walCommitSize]
 			if checksum(frame[:41]) != binary.LittleEndian.Uint32(frame[41:45]) {
-				return txn, int64(len(data) - lastCommitEnd), nil // torn commit
+				return txns, int64(len(data) - lastCommitEnd), nil // torn commit
 			}
 			count := int(binary.LittleEndian.Uint32(frame[1:5]))
 			if pendingBad {
@@ -176,7 +184,7 @@ func scanWAL(data []byte, blockSize int) (txn *walTxn, discarded int64, err erro
 			if count != len(pending) {
 				return nil, 0, corruptRegion("wal", "commit record covers %d frames, found %d", count, len(pending))
 			}
-			txn = &walTxn{
+			txns = append(txns, &walTxn{
 				images: pending,
 				hdr: walHeaderState{
 					next:      BlockID(binary.LittleEndian.Uint64(frame[5:13])),
@@ -185,7 +193,7 @@ func scanWAL(data []byte, blockSize int) (txn *walTxn, discarded int64, err erro
 					metaRoot:  BlockID(binary.LittleEndian.Uint64(frame[29:37])),
 					flags:     binary.LittleEndian.Uint32(frame[37:41]),
 				},
-			}
+			})
 			pending = nil
 			pendingBad = false
 			pos += walCommitSize
@@ -193,10 +201,10 @@ func scanWAL(data []byte, blockSize int) (txn *walTxn, discarded int64, err erro
 		default:
 			// Unknown kind byte: a torn append. Everything from the last
 			// commit on is an uncommitted tail.
-			return txn, int64(len(data) - lastCommitEnd), nil
+			return txns, int64(len(data) - lastCommitEnd), nil
 		}
 	}
-	return txn, int64(pos - lastCommitEnd), nil
+	return txns, int64(pos - lastCommitEnd), nil
 }
 
 // validateWALImages rejects committed frames naming impossible blocks.

@@ -66,9 +66,7 @@ func (l *Labeler) DeleteSubtree(start, end order.LID) (err error) {
 	l.logInvalidate(l1, ^uint64(0))
 
 	if empty {
-		if err := l.store.Free(root.blk); err != nil {
-			return err
-		}
+		// removeRange already freed every emptied block, root included.
 		l.root = pager.NilBlock
 		l.height = 0
 		return nil
@@ -91,7 +89,16 @@ func (l *Labeler) DeleteSubtree(start, end order.LID) (err error) {
 		l.height--
 	}
 	if violated {
-		return l.rebuildFromLeafRuns()
+		if err := l.rebuildFromLeafRuns(); err != nil {
+			return err
+		}
+	}
+	// Global rebuilding invariant (same trigger as Delete): the range
+	// removal drops live records but keeps boundary-leaf tombstones, so it
+	// can push the dead fraction past half — including the live == 0 case,
+	// where rebuildAll resets to the genuinely empty tree.
+	if l.dead >= l.live && l.dead > 0 {
+		return l.rebuildAll()
 	}
 	return nil
 }

@@ -1,0 +1,42 @@
+package wbox
+
+import (
+	"testing"
+
+	"boxes/internal/order"
+)
+
+// TestDeleteSubtreeEmptiesDocument regresses a double free: removeRange
+// frees every block it empties (including the root), and DeleteSubtree
+// used to free the root again when the whole document was deleted,
+// failing with "block is not allocated". The document must empty cleanly
+// and accept a fresh bootstrap afterwards — twice, to cover the
+// re-emptied state too.
+func TestDeleteSubtreeEmptiesDocument(t *testing.T) {
+	allVariants(t, func(t *testing.T, l *Labeler) {
+		for round := 0; round < 2; round++ {
+			e, err := l.InsertFirstElement()
+			if err != nil {
+				t.Fatalf("round %d bootstrap: %v", round, err)
+			}
+			// Grow a few siblings so the delete spans more than one record.
+			for i := 0; i < 4; i++ {
+				if _, err := l.InsertElementBefore(e.End); err != nil {
+					t.Fatalf("round %d insert %d: %v", round, i, err)
+				}
+			}
+			if err := l.DeleteSubtree(e.Start, e.End); err != nil {
+				t.Fatalf("round %d delete whole doc: %v", round, err)
+			}
+			if c := l.Count(); c != 0 {
+				t.Fatalf("round %d count after empty = %d, want 0", round, c)
+			}
+			if err := l.CheckInvariants(); err != nil {
+				t.Fatalf("round %d invariants on empty tree: %v", round, err)
+			}
+			if _, err := l.Lookup(e.Start); err != order.ErrUnknownLID {
+				t.Fatalf("round %d lookup on empty tree: err = %v, want ErrUnknownLID", round, err)
+			}
+		}
+	})
+}
