@@ -6,7 +6,7 @@ GO ?= go
 # parameters.
 BENCH_FLAGS := -base 2000 -inserts 500 -xmark 1000 -xprime 200
 
-.PHONY: all build test race bench bench-diff bench-baseline microbench check crash-matrix fsck fuzz-smoke experiments experiments-paper-scale clean
+.PHONY: all build test race bench bench-diff bench-baseline microbench check crash-matrix scrub-matrix fsck fuzz-smoke experiments experiments-paper-scale clean
 
 all: build test
 
@@ -35,6 +35,24 @@ fuzz-smoke:
 # byte-flip matrix.
 crash-matrix:
 	$(GO) test ./internal/crashmatrix -v
+
+# The runtime fault-tolerance sweep: transient write faults at every k-th
+# raw write absorbed by bounded retries on all five scheme workloads, a
+# permanent mid-workload fault flipping the store into read-only degraded
+# mode with oracle-equal lookups, a hot backup taken mid-workload that
+# opens fsck-clean at an exact op boundary, corruption surfacing as typed
+# errors under concurrent readers, and the online scrubber / hot backup
+# unit tests — then a CLI round trip: build a durable store, snapshot it,
+# corrupt the original, prove fsck notices, restore, prove it is clean.
+scrub-matrix:
+	$(GO) test ./internal/crashmatrix -run 'TestTransientFaultSweep|TestPermanentWriteFaultDegrades|TestHotBackupDuringWorkload|TestCorruptReadsTypedUnderConcurrentReaders' -v
+	$(GO) test ./internal/pager -run 'TestScrub|TestBackup' -v
+	$(GO) run ./cmd/boxgen -elements 2000 -seed 1 > /tmp/boxes-scrub.xml
+	$(GO) run ./cmd/boxload -scheme wbox -save /tmp/boxes-scrub.box -durable /tmp/boxes-scrub.xml
+	$(GO) run ./cmd/boxbackup backup /tmp/boxes-scrub.box /tmp/boxes-scrub.bak
+	printf 'garbage-bytes-for-scrub-matrix-corruption-test-0123456789abcdef' | dd of=/tmp/boxes-scrub.box bs=1 seek=16384 conv=notrunc status=none
+	! $(GO) run ./cmd/boxbackup verify /tmp/boxes-scrub.box
+	$(GO) run ./cmd/boxbackup restore /tmp/boxes-scrub.bak /tmp/boxes-scrub.box
 
 # Build a small store end to end and verify it offline with boxfsck.
 fsck:

@@ -34,6 +34,7 @@ import (
 	"net/http"
 
 	"boxes/internal/core"
+	"boxes/internal/faults"
 	"boxes/internal/obs"
 	"boxes/internal/order"
 	"boxes/internal/pager"
@@ -69,7 +70,28 @@ type (
 	Durability = pager.Durability
 	// CommitTicket resolves when a queued transaction is durable.
 	CommitTicket = pager.CommitTicket
+	// RetryPolicy bounds transient-I/O retries (Options.Retry): attempt
+	// budget, exponential backoff with jitter.
+	RetryPolicy = faults.RetryPolicy
+	// ScrubConfig paces an online Scrubber (batch size, interval, repair).
+	ScrubConfig = pager.ScrubConfig
+	// Scrubber walks a store's blocks in the background verifying
+	// checksums; see SyncStore.StartScrubber.
+	Scrubber = pager.Scrubber
 )
+
+// ErrReadOnly is returned by mutations once a permanent write fault has
+// flipped the store into read-only degraded mode; lookups keep serving the
+// committed state. Test with errors.Is.
+var ErrReadOnly = core.ErrReadOnly
+
+// ErrCorrupt matches (via errors.Is) every checksum or quarantine failure
+// the block layer reports.
+var ErrCorrupt = pager.ErrCorrupt
+
+// DefaultRetryPolicy is a sensible transient-retry configuration: 4
+// attempts, 1ms initial backoff doubling to a 50ms cap, half-range jitter.
+func DefaultRetryPolicy() RetryPolicy { return faults.DefaultRetryPolicy() }
 
 // Batch operation kinds for Store.ApplyBatch / SyncStore.ApplyBatch.
 const (

@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"boxes/internal/bench"
@@ -97,6 +98,22 @@ func main() {
 			return err
 		}},
 	}
+	// Experiments open and close their stores internally, so each one is a
+	// clean shutdown boundary: a SIGINT/SIGTERM finishes the experiment in
+	// flight (its store closes normally, group commits drain) and skips the
+	// rest instead of killing the process mid-transaction.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	interrupted := func() bool {
+		select {
+		case sig := <-sigs:
+			fmt.Printf("shutdown: caught %v, stopping after the completed experiment\n", sig)
+			return true
+		default:
+			return false
+		}
+	}
+
 	ran := false
 	for _, e := range all {
 		if *exp != "all" && *exp != e.id {
@@ -105,6 +122,9 @@ func main() {
 		if e.id == "snap" && *exp != "snap" {
 			// Snapshots rerun the update workloads; only on explicit request.
 			continue
+		}
+		if interrupted() {
+			os.Exit(0)
 		}
 		ran = true
 		start := time.Now()
@@ -120,8 +140,7 @@ func main() {
 	}
 	if *metrics != "" && *linger {
 		fmt.Println("lingering: metrics endpoint stays up until interrupted")
-		ch := make(chan os.Signal, 1)
-		signal.Notify(ch, os.Interrupt)
-		<-ch
+		sig := <-sigs
+		fmt.Printf("shutdown: caught %v\n", sig)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"boxes/internal/core"
@@ -236,8 +237,17 @@ func main() {
 		if *linger {
 			fmt.Println("lingering: metrics endpoint (with health gauges) stays up until interrupted")
 			ch := make(chan os.Signal, 1)
-			signal.Notify(ch, os.Interrupt)
-			<-ch
+			signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+			sig := <-ch
+			fmt.Printf("shutdown: caught %v, draining commits and closing the store\n", sig)
+		}
+	}
+	// -fsck already closed the backend to hand the file to the checker;
+	// otherwise shut down cleanly: drain any queued group commits, sync,
+	// and release the files.
+	if !(*saveTo != "" && *runFsck) {
+		if err := st.Close(); err != nil {
+			fatal(fmt.Errorf("close: %w", err))
 		}
 	}
 }

@@ -127,8 +127,13 @@ func (s *Store) ApplyBatch(ops []Op) ([]OpResult, error) {
 // durableBatch is durable() with abort-on-error: a failed batch must not
 // commit its prefix.
 func (s *Store) durableBatch(fn func() error) error {
+	if err := s.readOnlyErr(); err != nil {
+		return err
+	}
 	if !s.opts.Durable {
-		return fn()
+		err := fn()
+		s.noteFaults(err)
+		return err
 	}
 	s.store.BeginOp()
 	err := fn()
@@ -137,18 +142,22 @@ func (s *Store) durableBatch(fn func() error) error {
 	}
 	if err != nil {
 		s.store.AbortOp()
+		s.noteFaults(err)
 		return err
 	}
 	if e := s.store.EndOp(); e != nil {
+		s.noteFaults(e)
 		return e
 	}
 	if t := s.store.TakeTicket(); t != nil {
 		if s.deferred {
 			s.ticket = t
 		} else if werr := t.Wait(); werr != nil {
+			s.noteFaults(werr)
 			return werr
 		}
 	}
+	s.noteFaults(nil)
 	return nil
 }
 

@@ -7,8 +7,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"boxes/internal/bbox"
+	"boxes/internal/faults"
 	"boxes/internal/naive"
 	"boxes/internal/obs"
 	"boxes/internal/order"
@@ -110,6 +112,14 @@ type Options struct {
 	// commits.
 	Durability *pager.Durability
 
+	// Retry wraps every raw backend read/write in bounded retries with
+	// exponential backoff and jitter, so transient device faults (EINTR,
+	// EAGAIN, short writes, injected transients) are absorbed instead of
+	// surfacing. Nil disables retries. Exhausted write retries — like any
+	// permanent write fault — flip the store into read-only degraded mode
+	// (see ErrReadOnly).
+	Retry *faults.RetryPolicy
+
 	// Metrics routes the store's measurements into an existing registry,
 	// so several stores (e.g. one per scheme in a benchmark) can share one
 	// exposition endpoint. When nil the store creates its own registry;
@@ -147,6 +157,9 @@ type Store struct {
 	// after releasing its write lock, so concurrent writers coalesce).
 	deferred bool
 	ticket   *pager.CommitTicket
+
+	// deg is non-nil in read-only degraded mode (see resilience.go).
+	deg atomic.Pointer[degradedInfo]
 }
 
 // Open creates an empty Store.
@@ -178,6 +191,9 @@ func Open(opts Options) (*Store, error) {
 	popts := []pager.Option{pager.WithObserver(reg)}
 	if opts.CacheBlocks > 0 {
 		popts = append(popts, pager.WithCache(opts.CacheBlocks))
+	}
+	if opts.Retry != nil {
+		popts = append(popts, pager.WithRetry(*opts.Retry))
 	}
 	store := pager.NewStore(backend, popts...)
 
@@ -321,8 +337,13 @@ func (s *Store) end(c obs.OpCtx, err error) {
 // root all land in one atomic backend transaction. Without Durable it
 // just runs fn.
 func (s *Store) durable(fn func() error) error {
+	if err := s.readOnlyErr(); err != nil {
+		return err
+	}
 	if !s.opts.Durable {
-		return fn()
+		err := fn()
+		s.noteFaults(err)
+		return err
 	}
 	s.store.BeginOp()
 	err := fn()
@@ -339,6 +360,7 @@ func (s *Store) durable(fn func() error) error {
 			err = werr
 		}
 	}
+	s.noteFaults(err)
 	return err
 }
 

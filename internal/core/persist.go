@@ -32,18 +32,21 @@ var ErrNoSavedStore = errors.New("core: backend holds no saved store")
 // synced. With Options.Durable every mutating operation already persists
 // metadata, so explicit Saves are only needed for non-durable stores.
 func (s *Store) Save() error {
+	if err := s.readOnlyErr(); err != nil {
+		return err
+	}
 	s.store.BeginOp()
 	err := s.persistMeta()
 	if e := s.store.EndOp(); err == nil {
 		err = e
 	}
-	if err != nil {
-		return err
+	if err == nil {
+		if fb, ok := s.store.Backend().(*pager.FileBackend); ok {
+			err = fb.Sync()
+		}
 	}
-	if fb, ok := s.store.Backend().(*pager.FileBackend); ok {
-		return fb.Sync()
-	}
-	return nil
+	s.noteFaults(err)
+	return err
 }
 
 // persistMeta rewrites the metadata blob and repoints the backend's meta
@@ -164,6 +167,7 @@ func openExisting(backend pager.Backend, runtime Options) (*Store, error) {
 		Backend:       backend,
 		Durable:       runtime.Durable,
 		Durability:    runtime.Durability,
+		Retry:         runtime.Retry,
 		Metrics:       runtime.Metrics,
 		TraceHooks:    runtime.TraceHooks,
 		CrashDir:      runtime.CrashDir,

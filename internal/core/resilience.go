@@ -1,0 +1,190 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"boxes/internal/obs"
+	"boxes/internal/pager"
+)
+
+// ErrReadOnly is returned by every mutating operation (and Save) once the
+// store has entered read-only degraded mode: a permanent write fault or
+// write-path corruption was detected, so further mutations cannot be made
+// durable. Lookups keep serving from the committed state. Use errors.Is to
+// test for it; DegradedCause reports the underlying fault.
+var ErrReadOnly = errors.New("core: store is in read-only degraded mode")
+
+// metaHeaderLen is the fixed prefix persistMeta writes before the scheme's
+// own metadata: magic (8) + scheme (1) + block size (4) + ordinal (1) +
+// relaxed fan-out (1) + naive k (4).
+const metaHeaderLen = 19
+
+type degradedInfo struct {
+	cause error
+}
+
+// Degraded reports whether the store is in read-only degraded mode.
+func (s *Store) Degraded() bool { return s.deg.Load() != nil }
+
+// DegradedCause returns the fault that flipped the store read-only, or nil.
+func (s *Store) DegradedCause() error {
+	if d := s.deg.Load(); d != nil {
+		return d.cause
+	}
+	return nil
+}
+
+// ClearDegraded returns the store to read-write mode and clears the pager's
+// write-fault latch. Call it only after the underlying device has been
+// repaired (or the store reopened over a healthy backend): the in-memory
+// state was rolled back to the last committed metadata on entry, so leaving
+// degraded mode resumes exactly from the durable prefix.
+func (s *Store) ClearDegraded() {
+	s.deg.Store(nil)
+	s.store.ClearWriteFault()
+}
+
+// readOnlyErr is the mutation gate: nil in normal operation, a typed
+// ErrReadOnly (carrying the cause) once degraded.
+func (s *Store) readOnlyErr() error {
+	if d := s.deg.Load(); d != nil {
+		return fmt.Errorf("%w (cause: %v)", ErrReadOnly, d.cause)
+	}
+	return nil
+}
+
+// noteFaults inspects the pager's write-fault latch — and the operation's
+// own error for write-path corruption — after a mutation, entering degraded
+// mode on the first permanent fault. It must run in the writer's exclusive
+// section (it rolls the labeler back to committed state).
+func (s *Store) noteFaults(opErr error) {
+	if wf := s.store.WriteFault(); wf != nil {
+		s.enterDegraded(wf)
+		return
+	}
+	if opErr != nil && errors.Is(opErr, pager.ErrCorrupt) {
+		s.enterDegraded(opErr)
+	}
+}
+
+// enterDegraded flips the store read-only (first caller wins) and rolls the
+// in-memory labeler back to the last committed metadata, so lookups answer
+// from the durable prefix rather than from a mutation that half-applied
+// before its commit failed. The rollback is best-effort: if the committed
+// blob cannot be re-read the in-memory state is kept as is (mutations are
+// rejected either way). Any caching layer's modification log is dropped so
+// cached labels re-validate through full lookups.
+func (s *Store) enterDegraded(cause error) {
+	if !s.deg.CompareAndSwap(nil, &degradedInfo{cause: cause}) {
+		return
+	}
+	s.reg.Inc(obs.CtrCoreDegraded)
+	// A group commit that aborted asynchronously (after its EndOp returned)
+	// may have left pre-abort images in the pager's LRU cache.
+	s.store.InvalidateCache()
+	if s.opts.Durable {
+		if err := s.restoreCommittedMeta(); err != nil {
+			s.deg.Store(&degradedInfo{cause: fmt.Errorf("%v; metadata rollback also failed: %v", cause, err)})
+		}
+	}
+	if s.cache != nil {
+		s.cache.Log().DropAll()
+	}
+}
+
+// restoreCommittedMeta re-reads the last committed metadata blob and
+// restores the labeler from it, discarding in-memory effects of operations
+// whose commit never became durable.
+func (s *Store) restoreCommittedMeta() error {
+	mr, ok := s.store.Backend().(pager.MetaRooter)
+	if !ok {
+		return errors.New("backend cannot persist metadata")
+	}
+	mm, ok := s.labeler.(metaMarshaler)
+	if !ok {
+		return fmt.Errorf("scheme %v cannot restore metadata", s.opts.Scheme)
+	}
+	head, err := mr.MetaRoot()
+	if err != nil {
+		return err
+	}
+	if head == pager.NilBlock {
+		return errors.New("no committed metadata")
+	}
+	blob, err := s.store.ReadBlob(head)
+	if err != nil {
+		return err
+	}
+	if len(blob) < metaHeaderLen || !bytes.Equal(blob[:8], metaMagic[:]) {
+		return errors.New("committed metadata is corrupt")
+	}
+	return mm.RestoreMeta(blob[metaHeaderLen:])
+}
+
+// unwrapBackend peels fault-injection wrappers off a backend, reaching the
+// device that actually persists blocks.
+func unwrapBackend(b pager.Backend) pager.Backend {
+	for {
+		switch w := b.(type) {
+		case *pager.FaultBackend:
+			b = w.Inner
+		case *pager.CrashBackend:
+			b = w.Inner
+		case *pager.FlakyBackend:
+			b = w.Inner
+		default:
+			return b
+		}
+	}
+}
+
+// Backup writes a consistent snapshot of the store to a fresh file at path
+// (plus .crc/.wal sidecars); OpenFile + OpenExisting on that path resumes
+// an identical store — restore is a plain file copy, no replay needed. The
+// store must be file-backed. A durable store's metadata is already
+// committed per operation; a non-durable store Saves first so the snapshot
+// is resumable. The caller must exclude concurrent mutators (SyncStore's
+// Backup does); the group-commit committer may keep running.
+func (s *Store) Backup(path string) error {
+	if !s.opts.Durable {
+		if err := s.Save(); err != nil {
+			return err
+		}
+	}
+	return s.backupNoSave(path)
+}
+
+// backupNoSave snapshots without the non-durable Save (SyncStore performs
+// that under its write lock before taking the read-locked copy).
+func (s *Store) backupNoSave(path string) error {
+	fb, ok := unwrapBackend(s.store.Backend()).(*pager.FileBackend)
+	if !ok {
+		return errors.New("core: backup requires a file-backed store")
+	}
+	return fb.BackupTo(path)
+}
+
+// NewScrubber builds an online scrubber over the store's blocks (see
+// pager.Scrubber): checksum verification at a configurable pace, quarantine
+// of corrupt blocks, optional repair from the WAL tail. The store must be
+// file-backed with checksums. The caller starts and stops it; for a store
+// shared via SyncStore use SyncStore.StartScrubber, which wires the read
+// lock in as the scrub guard.
+func (s *Store) NewScrubber(cfg pager.ScrubConfig) (*pager.Scrubber, error) {
+	return s.store.NewScrubber(cfg)
+}
+
+// QuarantinedBlocks lists blocks the pager refuses to serve (corrupt and
+// not yet repaired or rewritten).
+func (s *Store) QuarantinedBlocks() []pager.BlockID {
+	return s.store.QuarantinedBlocks()
+}
+
+// Close releases the store: pending group commits are drained and the
+// backend is closed. Durable stores are consistent at every operation
+// boundary; non-durable stores must Save first to be resumable.
+func (s *Store) Close() error {
+	return s.store.Close()
+}

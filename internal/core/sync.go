@@ -62,8 +62,17 @@ func (s *SyncStore) write(fn func() error) error {
 	s.st.store.EndWrite()
 	ticket := s.st.TakeTicket()
 	s.mu.Unlock()
-	if werr := ticket.Wait(); err == nil {
-		err = werr
+	if werr := ticket.Wait(); werr != nil {
+		// A deferred commit failed after the lock was released: latch the
+		// fault and enter degraded mode under a fresh write lock (the
+		// rollback touches the labeler, which readers may be using).
+		s.st.store.NoteWriteFault(werr)
+		s.mu.Lock()
+		s.st.noteFaults(werr)
+		s.mu.Unlock()
+		if err == nil {
+			err = werr
+		}
 	}
 	return err
 }
@@ -219,4 +228,59 @@ func (s *SyncStore) Health() []obs.GaugeValue {
 // lock, so live scrapes are safe alongside concurrent operations.
 func (s *SyncStore) RegisterHealthGauges() {
 	s.st.MetricsRegistry().RegisterCollector(obs.CollectorFunc(s.Health))
+}
+
+// Degraded reports whether the store is in read-only degraded mode. The
+// flag is atomic; no lock is needed.
+func (s *SyncStore) Degraded() bool { return s.st.Degraded() }
+
+// DegradedCause returns the fault that flipped the store read-only, or nil.
+func (s *SyncStore) DegradedCause() error { return s.st.DegradedCause() }
+
+// ClearDegraded returns the store to read-write mode under the write lock.
+func (s *SyncStore) ClearDegraded() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st.ClearDegraded()
+}
+
+// Backup snapshots the store to path while readers (and the group-commit
+// committer) keep running: a non-durable store first Saves its metadata
+// under the write lock, then the block copy proceeds under the read lock,
+// excluding mutators only.
+func (s *SyncStore) Backup(path string) error {
+	if !s.st.opts.Durable {
+		if err := s.write(func() error { return s.st.Save() }); err != nil {
+			return err
+		}
+	}
+	s.rlock()
+	defer s.mu.RUnlock()
+	return s.st.backupNoSave(path)
+}
+
+// StartScrubber launches a background scrubber whose batches run under the
+// store's read lock — concurrent with lookups, serialized against
+// mutations. The caller owns the returned scrubber and must Stop it before
+// Close.
+func (s *SyncStore) StartScrubber(cfg pager.ScrubConfig) (*pager.Scrubber, error) {
+	cfg.Guard = func(fn func()) {
+		s.rlock()
+		defer s.mu.RUnlock()
+		fn()
+	}
+	sc, err := s.st.NewScrubber(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sc.Start()
+	return sc, nil
+}
+
+// Close releases the store under the write lock: pending group commits are
+// drained and the backend is closed.
+func (s *SyncStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.Close()
 }

@@ -1,0 +1,109 @@
+package faults
+
+import "testing"
+
+func TestScheduleBudget(t *testing.T) {
+	s := NewSchedule(1)
+	s.SetBudget(3)
+	for i := 0; i < 3; i++ {
+		if d := s.Decide(OpWrite); d.Fail {
+			t.Fatalf("op %d inside budget failed", i)
+		}
+	}
+	d := s.Decide(OpRead)
+	if !d.Fail || d.Mode != ModePermanent {
+		t.Fatalf("post-budget op: %+v, want permanent failure", d)
+	}
+	if s.Injected() != 1 || s.Ops() != 4 {
+		t.Fatalf("injected=%d ops=%d", s.Injected(), s.Ops())
+	}
+}
+
+func TestScheduleFailNextHeals(t *testing.T) {
+	s := NewSchedule(1)
+	s.ArmFailNext(2)
+	for i := 0; i < 2; i++ {
+		d := s.Decide(OpWrite)
+		if !d.Fail || d.Mode != ModeTransient {
+			t.Fatalf("armed op %d: %+v, want transient failure", i, d)
+		}
+	}
+	if s.Armed() != 0 {
+		t.Fatalf("burst not drained")
+	}
+	if d := s.Decide(OpWrite); d.Fail {
+		t.Fatalf("healed op failed: %+v", d)
+	}
+}
+
+func TestScheduleCrashAtWrite(t *testing.T) {
+	s := NewSchedule(1)
+	s.CrashAtWrite(2, true)
+	if d := s.Decide(OpWrite); d.Fail {
+		t.Fatalf("write 1 failed early")
+	}
+	if d := s.Decide(OpRead); d.Fail {
+		t.Fatalf("reads do not advance the write clock")
+	}
+	d := s.Decide(OpWrite)
+	if !d.Fail || d.Mode != ModeCrash || !d.Torn {
+		t.Fatalf("crash point: %+v, want torn crash", d)
+	}
+	if !s.Dead() {
+		t.Fatalf("device should be dead")
+	}
+	// Everything after the cut fails, reads included, without counting.
+	opsBefore := s.Ops()
+	if d := s.Decide(OpRead); !d.Fail || d.Mode != ModeCrash {
+		t.Fatalf("post-crash read: %+v", d)
+	}
+	if s.Ops() != opsBefore {
+		t.Fatalf("dead-device ops were counted")
+	}
+	if s.Writes() != 2 {
+		t.Fatalf("writes = %d, want 2", s.Writes())
+	}
+}
+
+func TestScheduleEveryKth(t *testing.T) {
+	s := NewSchedule(1)
+	s.FailEveryKth(3, ModeTransient, OpWrite)
+	fails := 0
+	for i := 0; i < 9; i++ {
+		if d := s.Decide(OpWrite); d.Fail {
+			if d.Mode != ModeTransient {
+				t.Fatalf("mode %v", d.Mode)
+			}
+			fails++
+		}
+		if d := s.Decide(OpRead); d.Fail {
+			t.Fatalf("read failed under a write-only rule")
+		}
+	}
+	if fails != 3 {
+		t.Fatalf("9 writes with k=3: %d failures, want 3", fails)
+	}
+}
+
+func TestScheduleSeededProbabilityDeterministic(t *testing.T) {
+	run := func() []bool {
+		s := NewSchedule(99)
+		s.FailWithProbability(0.3, ModeTransient)
+		out := make([]bool, 50)
+		for i := range out {
+			out[i] = s.Decide(OpWrite).Fail
+		}
+		return out
+	}
+	a, b := run(), run()
+	some := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different schedule at op %d", i)
+		}
+		some = some || a[i]
+	}
+	if !some {
+		t.Fatalf("p=0.3 over 50 ops fired nothing")
+	}
+}

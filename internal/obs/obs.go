@@ -133,6 +133,28 @@ const (
 	// CtrReflogInvalidations counts invalidation sweeps pushed into the
 	// modification log (updates whose effects are not succinct).
 	CtrReflogInvalidations
+	// CtrPagerRetries counts retry attempts after transient backend
+	// failures (one per re-issued operation, successful or not).
+	CtrPagerRetries
+	// CtrPagerRetrySuccesses counts operations that succeeded only after
+	// one or more retries — transient faults absorbed by the retry layer.
+	CtrPagerRetrySuccesses
+	// CtrPagerRetryExhausted counts operations whose retry budget ran out,
+	// surfacing the fault as a permanent error.
+	CtrPagerRetryExhausted
+	// CtrPagerScrubBlocks counts blocks whose checksums the online
+	// scrubber verified.
+	CtrPagerScrubBlocks
+	// CtrPagerScrubCorrupt counts corrupt blocks the scrubber found.
+	CtrPagerScrubCorrupt
+	// CtrPagerScrubRepairs counts corrupt blocks the scrubber repaired
+	// from a committed WAL or group-commit image.
+	CtrPagerScrubRepairs
+	// CtrPagerScrubPasses counts completed full scrub passes.
+	CtrPagerScrubPasses
+	// CtrCoreDegraded counts transitions of a store into read-only
+	// degraded mode after a permanent write-path fault.
+	CtrCoreDegraded
 	numCounters
 )
 
@@ -161,6 +183,14 @@ var counterNames = [numCounters]string{
 	CtrReflogRepairs:         "reflog_cache_repairs_total",
 	CtrReflogMisses:          "reflog_cache_misses_total",
 	CtrReflogInvalidations:   "reflog_invalidation_sweeps_total",
+	CtrPagerRetries:          "pager_retries_total",
+	CtrPagerRetrySuccesses:   "pager_retry_successes_total",
+	CtrPagerRetryExhausted:   "pager_retry_exhausted_total",
+	CtrPagerScrubBlocks:      "pager_scrub_blocks_total",
+	CtrPagerScrubCorrupt:     "pager_scrub_corrupt_total",
+	CtrPagerScrubRepairs:     "pager_scrub_repairs_total",
+	CtrPagerScrubPasses:      "pager_scrub_passes_total",
+	CtrCoreDegraded:          "core_degraded_transitions_total",
 }
 
 func (c Counter) String() string {

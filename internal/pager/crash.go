@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"boxes/internal/faults"
 )
 
 // ErrCrashed is returned by every operation of a crashed CrashBackend or
@@ -152,7 +154,9 @@ func (cf *crashFile) Close() error { return cf.f.Close() }
 // and every operation after it — reads included — fails with ErrCrashed.
 // It is FlakyBackend's deterministic sibling: FlakyBackend models a
 // transient device that keeps limping along, CrashBackend models a machine
-// that dies mid-operation and must be restarted.
+// that dies mid-operation and must be restarted. Both delegate their
+// decisions to the same seeded faults.Schedule engine (via FaultBackend),
+// so crash-matrix and retry tests share deterministic fault schedules.
 //
 // Over a MemBackend it verifies that the structures surface a mid-flush
 // power cut cleanly; over a FileBackend opened with NoWAL it demonstrates
@@ -162,105 +166,26 @@ func (cf *crashFile) Close() error { return cf.f.Close() }
 // commit the torn image atomically and mask the tear; use a
 // CrashController for intra-commit crash points instead.
 type CrashBackend struct {
-	Inner   Backend
+	*FaultBackend
 	CrashAt int  // 1-based write that dies; 0 = never
 	Torn    bool // the fatal write persists a half-block prefix
-
-	mu      sync.Mutex
-	writes  int
-	crashed bool
 }
 
 // NewCrashBackend wraps inner, cutting power at the crashAt-th WriteBlock.
 func NewCrashBackend(inner Backend, crashAt int, torn bool) *CrashBackend {
-	return &CrashBackend{Inner: inner, CrashAt: crashAt, Torn: torn}
+	sched := faults.NewSchedule(1)
+	sched.CrashAtWrite(crashAt, torn)
+	return &CrashBackend{
+		FaultBackend: NewFaultBackend(inner, sched),
+		CrashAt:      crashAt,
+		Torn:         torn,
+	}
 }
 
 // Writes reports the number of block writes attempted so far.
-func (c *CrashBackend) Writes() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.writes
-}
+func (c *CrashBackend) Writes() int { return c.sched().Writes() }
 
 // Crashed reports whether the power cut has fired.
-func (c *CrashBackend) Crashed() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.crashed
-}
+func (c *CrashBackend) Crashed() bool { return c.sched().Dead() }
 
-func (c *CrashBackend) alive() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.crashed {
-		return ErrCrashed
-	}
-	return nil
-}
-
-// BlockSize implements Backend.
-func (c *CrashBackend) BlockSize() int { return c.Inner.BlockSize() }
-
-// Allocate implements Backend.
-func (c *CrashBackend) Allocate() (BlockID, error) {
-	if err := c.alive(); err != nil {
-		return NilBlock, err
-	}
-	return c.Inner.Allocate()
-}
-
-// Free implements Backend.
-func (c *CrashBackend) Free(id BlockID) error {
-	if err := c.alive(); err != nil {
-		return err
-	}
-	return c.Inner.Free(id)
-}
-
-// ReadBlock implements Backend.
-func (c *CrashBackend) ReadBlock(id BlockID, buf []byte) error {
-	if err := c.alive(); err != nil {
-		return err
-	}
-	return c.Inner.ReadBlock(id, buf)
-}
-
-// WriteBlock implements Backend: the crashAt-th write dies, optionally
-// persisting a torn half block (new first half, old second half) first.
-func (c *CrashBackend) WriteBlock(id BlockID, buf []byte) error {
-	c.mu.Lock()
-	if c.crashed {
-		c.mu.Unlock()
-		return ErrCrashed
-	}
-	c.writes++
-	fatal := c.CrashAt > 0 && c.writes == c.CrashAt
-	if fatal {
-		c.crashed = true
-	}
-	torn := fatal && c.Torn
-	c.mu.Unlock()
-
-	if !fatal {
-		return c.Inner.WriteBlock(id, buf)
-	}
-	if torn {
-		old := make([]byte, c.Inner.BlockSize())
-		if err := c.Inner.ReadBlock(id, old); err == nil {
-			half := len(buf) / 2
-			img := make([]byte, len(buf))
-			copy(img, old)
-			copy(img[:half], buf[:half])
-			c.Inner.WriteBlock(id, img)
-		}
-	}
-	return fmt.Errorf("%w (block %d, write %d)", ErrCrashed, id, c.writes)
-}
-
-// NumBlocks implements Backend.
-func (c *CrashBackend) NumBlocks() uint64 { return c.Inner.NumBlocks() }
-
-// Close implements Backend: the inner backend is always closed so the
-// harness can reopen the underlying file.
-func (c *CrashBackend) Close() error { return c.Inner.Close() }
+func (c *CrashBackend) sched() *faults.Schedule { return c.Injector.(*faults.Schedule) }

@@ -144,6 +144,11 @@ type FileBackend struct {
 	obs      *obs.Registry // nil-safe
 	closed   bool
 
+	// applyMu serializes in-place block rewrites (phase 2 of a commit,
+	// scrub repairs) against the scrubber's raw disk reads, which bypass
+	// the staged-image and group-commit overlays (see scrub.go).
+	applyMu sync.Mutex
+
 	gc groupState // group-commit machinery (see group.go)
 }
 
@@ -820,27 +825,35 @@ func (fb *FileBackend) commit(stage map[BlockID][]byte, pre walHeaderState) erro
 
 	// Phase 2: apply in place. Failures past this point leave a committed
 	// transaction in the WAL; recovery at next open completes the apply.
-	for _, img := range images {
-		if _, err := fb.f.WriteAt(img.data, fb.offset(img.id)); err != nil {
+	// applyMu keeps the scrubber's raw reads off blocks mid-overwrite.
+	if err := func() error {
+		fb.applyMu.Lock()
+		defer fb.applyMu.Unlock()
+		for _, img := range images {
+			if _, err := fb.f.WriteAt(img.data, fb.offset(img.id)); err != nil {
+				return err
+			}
+			fb.statsMu.Lock()
+			fb.stats.DataBytes += uint64(len(img.data))
+			fb.statsMu.Unlock()
+			if err := fb.writeCRCEntry(img.id, checksum(img.data)); err != nil {
+				return err
+			}
+		}
+		if err := fb.writeHeader(); err != nil {
 			return err
 		}
-		fb.statsMu.Lock()
-		fb.stats.DataBytes += uint64(len(img.data))
-		fb.statsMu.Unlock()
-		if err := fb.writeCRCEntry(img.id, checksum(img.data)); err != nil {
+		if err := fb.sync(fb.f); err != nil {
 			return err
 		}
-	}
-	if err := fb.writeHeader(); err != nil {
+		if fb.crc != nil {
+			if err := fb.sync(fb.crc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}(); err != nil {
 		return err
-	}
-	if err := fb.sync(fb.f); err != nil {
-		return err
-	}
-	if fb.crc != nil {
-		if err := fb.sync(fb.crc); err != nil {
-			return err
-		}
 	}
 
 	// Phase 3: reset the log. If the truncate is lost to a crash the

@@ -3,7 +3,8 @@ package pager
 import (
 	"errors"
 	"fmt"
-	"sync"
+
+	"boxes/internal/faults"
 )
 
 // ErrInjected is the error returned by a FlakyBackend once its budget is
@@ -16,8 +17,14 @@ var ErrInjected = errors.New("pager: injected I/O failure")
 // cleanly instead of panicking or silently corrupting their in-memory
 // bookkeeping.
 //
+// Decisions are delegated to a seeded faults.Schedule — the same engine
+// behind CrashBackend and FaultBackend — so flaky runs compose with the
+// other injection shapes and replay deterministically. Transient failures
+// (FailNext) wrap faults.ErrTransient, so a Store opened WithRetry absorbs
+// them; budget failures are permanent and surface.
+//
 // A FlakyBackend is safe for concurrent use (to the extent the wrapped
-// backend is): its counters are mutex-guarded, and a Store layered on top
+// backend is): the schedule is mutex-guarded, and a Store layered on top
 // additionally counts each injected failure in its error metrics
 // (pager_injected_failures_total), so fault-injection runs are observable.
 type FlakyBackend struct {
@@ -25,71 +32,54 @@ type FlakyBackend struct {
 	// Budget is the number of ReadBlock/WriteBlock/Allocate/Free calls
 	// that succeed before every further call fails. It models a device
 	// that dies and stays dead; for a transient fault that heals, use
-	// FailNext instead (which takes precedence while armed).
+	// FailNext instead (which takes precedence while armed). The field is
+	// read before every operation, so tests may adjust it mid-run.
 	Budget int
 
-	mu       sync.Mutex
-	ops      int
-	injected int
-	failNext int // transient mode: fail this many ops, then heal
+	sched *faults.Schedule
 }
 
 // NewFlakyBackend wraps inner with an operation budget.
 func NewFlakyBackend(inner Backend, budget int) *FlakyBackend {
-	return &FlakyBackend{Inner: inner, Budget: budget}
+	return &FlakyBackend{Inner: inner, Budget: budget, sched: faults.NewSchedule(1)}
 }
 
 // NewTransientFlakyBackend wraps inner with no permanent budget; arm
 // transient faults with FailNext.
 func NewTransientFlakyBackend(inner Backend) *FlakyBackend {
-	return &FlakyBackend{Inner: inner, Budget: int(^uint(0) >> 1)}
+	return NewFlakyBackend(inner, int(^uint(0)>>1))
 }
+
+// Schedule exposes the underlying fault schedule, so tests can compose
+// further shapes (every-k-th faults, seeded probabilities) on a flaky run.
+func (f *FlakyBackend) Schedule() *faults.Schedule { return f.sched }
 
 // FailNext arms a transient fault: the next n data operations fail with
-// ErrInjected, after which the backend heals and operations succeed again
-// (budget permitting). It is how retry-after-transient-error paths are
-// exercised: arm, watch the failure surface, then retry and succeed.
-func (f *FlakyBackend) FailNext(n int) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.failNext = n
-}
+// ErrInjected (marked transient), after which the backend heals and
+// operations succeed again (budget permitting). It is how
+// retry-after-transient-error paths are exercised: arm, watch the failure
+// surface — or a retrying Store absorb it — then succeed.
+func (f *FlakyBackend) FailNext(n int) { f.sched.ArmFailNext(n) }
 
 // Healed reports whether no transient fault is currently armed.
-func (f *FlakyBackend) Healed() bool {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.failNext == 0
-}
+func (f *FlakyBackend) Healed() bool { return f.sched.Armed() == 0 }
 
 // Ops reports the number of operations attempted so far.
-func (f *FlakyBackend) Ops() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.ops
-}
+func (f *FlakyBackend) Ops() int { return f.sched.Ops() }
 
 // Injected reports the number of failures injected so far.
-func (f *FlakyBackend) Injected() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.injected
-}
+func (f *FlakyBackend) Injected() int { return f.sched.Injected() }
 
-func (f *FlakyBackend) charge(op string) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.ops++
-	if f.failNext > 0 {
-		f.failNext--
-		f.injected++
-		return fmt.Errorf("%w (%s, transient)", ErrInjected, op)
+func (f *FlakyBackend) charge(op faults.Op) error {
+	f.sched.SetBudget(f.Budget)
+	d := f.sched.Decide(op)
+	if !d.Fail {
+		return nil
 	}
-	if f.ops > f.Budget {
-		f.injected++
-		return fmt.Errorf("%w (%s after %d ops)", ErrInjected, op, f.Budget)
+	if d.Mode == faults.ModeTransient {
+		return fmt.Errorf("%w (%s, %w)", ErrInjected, op, faults.ErrTransient)
 	}
-	return nil
+	return fmt.Errorf("%w (%s after %d ops)", ErrInjected, op, f.Budget)
 }
 
 // BlockSize implements Backend.
@@ -97,7 +87,7 @@ func (f *FlakyBackend) BlockSize() int { return f.Inner.BlockSize() }
 
 // Allocate implements Backend.
 func (f *FlakyBackend) Allocate() (BlockID, error) {
-	if err := f.charge("allocate"); err != nil {
+	if err := f.charge(faults.OpAllocate); err != nil {
 		return NilBlock, err
 	}
 	return f.Inner.Allocate()
@@ -105,7 +95,7 @@ func (f *FlakyBackend) Allocate() (BlockID, error) {
 
 // Free implements Backend.
 func (f *FlakyBackend) Free(id BlockID) error {
-	if err := f.charge("free"); err != nil {
+	if err := f.charge(faults.OpFree); err != nil {
 		return err
 	}
 	return f.Inner.Free(id)
@@ -113,7 +103,7 @@ func (f *FlakyBackend) Free(id BlockID) error {
 
 // ReadBlock implements Backend.
 func (f *FlakyBackend) ReadBlock(id BlockID, buf []byte) error {
-	if err := f.charge("read"); err != nil {
+	if err := f.charge(faults.OpRead); err != nil {
 		return err
 	}
 	return f.Inner.ReadBlock(id, buf)
@@ -121,7 +111,7 @@ func (f *FlakyBackend) ReadBlock(id BlockID, buf []byte) error {
 
 // WriteBlock implements Backend.
 func (f *FlakyBackend) WriteBlock(id BlockID, buf []byte) error {
-	if err := f.charge("write"); err != nil {
+	if err := f.charge(faults.OpWrite); err != nil {
 		return err
 	}
 	return f.Inner.WriteBlock(id, buf)

@@ -396,33 +396,41 @@ func (fb *FileBackend) applyGroup(group []*groupTxn) error {
 
 	// Phase 2: apply in place, newest image per block. Failures past the
 	// fsync leave committed transactions in the WAL; recovery replays them.
+	// applyMu keeps the scrubber's raw reads off blocks mid-overwrite.
 	merged := make(map[BlockID][]byte, frames)
 	for _, txn := range group {
 		for _, img := range txn.images {
 			merged[img.id] = img.data
 		}
 	}
-	for _, img := range sortedImages(merged) {
-		if _, err := fb.f.WriteAt(img.data, fb.offset(img.id)); err != nil {
+	if err := func() error {
+		fb.applyMu.Lock()
+		defer fb.applyMu.Unlock()
+		for _, img := range sortedImages(merged) {
+			if _, err := fb.f.WriteAt(img.data, fb.offset(img.id)); err != nil {
+				return err
+			}
+			fb.statsMu.Lock()
+			fb.stats.DataBytes += uint64(len(img.data))
+			fb.statsMu.Unlock()
+			if err := fb.writeCRCEntry(img.id, checksum(img.data)); err != nil {
+				return err
+			}
+		}
+		if err := fb.writeHeaderState(group[len(group)-1].hdr); err != nil {
 			return err
 		}
-		fb.statsMu.Lock()
-		fb.stats.DataBytes += uint64(len(img.data))
-		fb.statsMu.Unlock()
-		if err := fb.writeCRCEntry(img.id, checksum(img.data)); err != nil {
+		if err := fb.sync(fb.f); err != nil {
 			return err
 		}
-	}
-	if err := fb.writeHeaderState(group[len(group)-1].hdr); err != nil {
+		if fb.crc != nil {
+			if err := fb.sync(fb.crc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}(); err != nil {
 		return err
-	}
-	if err := fb.sync(fb.f); err != nil {
-		return err
-	}
-	if fb.crc != nil {
-		if err := fb.sync(fb.crc); err != nil {
-			return err
-		}
 	}
 
 	// Phase 3: reset the log. Only the committer appends while group

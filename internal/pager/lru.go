@@ -76,6 +76,15 @@ func (c *lruCache) drop(id BlockID) {
 	}
 }
 
+// clear empties the cache. Used when a batch aborts: blocks flushed before
+// the failure were cached with images the abort rolled back on disk.
+func (c *lruCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.index = make(map[BlockID]*list.Element, c.capacity)
+}
+
 func (c *lruCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -23,8 +23,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
+	"boxes/internal/faults"
 	"boxes/internal/obs"
 )
 
@@ -137,6 +139,14 @@ type Store struct {
 	shared  bool        // shared read mode enabled (SetShared)
 	writing atomic.Bool // inside a BeginWrite/EndWrite bracket
 	closed  bool
+
+	// Resilience state (see resilience.go): optional bounded retries of
+	// raw backend calls, the first permanent write-path fault (core's
+	// degraded-mode trigger), and the set of quarantined corrupt blocks.
+	retry  *faults.Retrier
+	wfault atomic.Pointer[writeFault]
+	quar   sync.Map // BlockID -> string (corruption detail)
+	nquar  atomic.Int64
 }
 
 // Option configures a Store.
@@ -319,14 +329,17 @@ func (s *Store) EndOp() error {
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		for _, id := range ids {
 			ob := s.op[id]
-			if err := s.backend.WriteBlock(id, ob.data); err != nil {
+			err := s.retryBackend(func() error { return s.backend.WriteBlock(id, ob.data) })
+			if err != nil {
 				s.countIOError(err)
+				s.NoteWriteFault(err)
 				if firstErr == nil {
 					firstErr = err
 				}
 				continue
 			}
 			s.countWrite()
+			s.liftQuarantine(id)
 			if s.cache != nil {
 				s.cache.put(id, ob.data)
 			}
@@ -338,15 +351,20 @@ func (s *Store) EndOp() error {
 		tx := s.backend.(TxBackend)
 		if firstErr != nil {
 			tx.AbortBatch()
+			// Blocks flushed (and cached) before the failure carry images
+			// the abort just rolled back on disk.
+			s.InvalidateCache()
 		} else if atx, ok := tx.(AsyncTxBackend); ok && atx.GroupCommitEnabled() {
 			t, err := atx.CommitBatchAsync()
 			if err != nil {
 				s.countIOError(err)
+				s.NoteWriteFault(err)
 				firstErr = err
 			}
 			s.ticket = t
 		} else if err := tx.CommitBatch(); err != nil {
 			s.countIOError(err)
+			s.NoteWriteFault(err)
 			firstErr = err
 		}
 	}
@@ -368,6 +386,17 @@ func (s *Store) AbortOp() {
 		if tx, ok := s.backend.(TxBackend); ok {
 			tx.AbortBatch()
 		}
+		s.InvalidateCache()
+	}
+}
+
+// InvalidateCache empties the global LRU cache. The abort paths call it
+// because blocks flushed (and cached) ahead of a failed commit carry images
+// the abort rolled back on disk; degraded-mode entry calls it too, covering
+// group commits that abort asynchronously after EndOp already returned.
+func (s *Store) InvalidateCache() {
+	if s.cache != nil {
+		s.cache.clear()
 	}
 }
 
@@ -409,9 +438,11 @@ func (s *Store) Allocate() (BlockID, error) {
 		return NilBlock, ErrClosed
 	}
 	s.ensureBatch()
-	id, err := s.backend.Allocate()
+	var id BlockID
+	err := s.retryBackend(func() (e error) { id, e = s.backend.Allocate(); return e })
 	if err != nil {
 		s.countIOError(err)
+		s.NoteWriteFault(err)
 		return NilBlock, err
 	}
 	if s.opDepth > 0 {
@@ -441,8 +472,9 @@ func (s *Store) Free(id BlockID) error {
 	if s.cache != nil {
 		s.cache.drop(id)
 	}
-	if err := s.backend.Free(id); err != nil {
+	if err := s.retryBackend(func() error { return s.backend.Free(id) }); err != nil {
 		s.countIOError(err)
+		s.NoteWriteFault(err)
 		return err
 	}
 	return nil
@@ -478,8 +510,11 @@ func (s *Store) Read(id BlockID) ([]byte, error) {
 		}
 		s.obs.Inc(obs.CtrPagerCacheMisses)
 	}
+	if qerr := s.quarantineErr(id); qerr != nil {
+		return nil, qerr
+	}
 	buf := make([]byte, s.backend.BlockSize())
-	if err := s.backend.ReadBlock(id, buf); err != nil {
+	if err := s.retryBackend(func() error { return s.backend.ReadBlock(id, buf) }); err != nil {
 		s.countIOError(err)
 		return nil, err
 	}
@@ -522,11 +557,13 @@ func (s *Store) Write(id BlockID, buf []byte) error {
 		s.op[id] = &opBlock{data: data, dirty: true}
 		return nil
 	}
-	if err := s.backend.WriteBlock(id, buf); err != nil {
+	if err := s.retryBackend(func() error { return s.backend.WriteBlock(id, buf) }); err != nil {
 		s.countIOError(err)
+		s.NoteWriteFault(err)
 		return err
 	}
 	s.countWrite()
+	s.liftQuarantine(id)
 	if s.cache != nil {
 		s.cache.put(id, buf)
 	}

@@ -1,0 +1,129 @@
+package pager
+
+import (
+	"errors"
+	"sort"
+
+	"boxes/internal/faults"
+	"boxes/internal/obs"
+)
+
+// WithRetry enables bounded retries of raw backend calls: each ReadBlock,
+// WriteBlock, Allocate and Free that fails with a transient error (see
+// faults.Classify) is re-issued under the policy's exponential backoff
+// with seeded jitter. Permanent errors return immediately; an exhausted
+// budget surfaces as a faults.ExhaustedError wrapping the last transient
+// cause. Retries are off by default: fault-injection tests rely on
+// injected errors surfacing verbatim.
+func WithRetry(p faults.RetryPolicy) Option {
+	return func(s *Store) { s.retry = faults.NewRetrier(p) }
+}
+
+// RetryEnabled reports whether a retry policy is attached.
+func (s *Store) RetryEnabled() bool { return s.retry != nil }
+
+// retryBackend runs one raw backend call under the store's retry policy
+// (or directly when none is attached), recording retry metrics.
+func (s *Store) retryBackend(fn func() error) error {
+	if s.retry == nil {
+		return fn()
+	}
+	retries, err := s.retry.Do(fn)
+	if retries > 0 {
+		s.obs.Add(obs.CtrPagerRetries, uint64(retries))
+		if err == nil {
+			s.obs.Inc(obs.CtrPagerRetrySuccesses)
+		}
+	}
+	if err != nil {
+		var ex *faults.ExhaustedError
+		if errors.As(err, &ex) {
+			s.obs.Inc(obs.CtrPagerRetryExhausted)
+		}
+	}
+	return err
+}
+
+// writeFault is the boxed first permanent write-path failure.
+type writeFault struct{ err error }
+
+// NoteWriteFault latches err as the store's write fault if it is a
+// permanent failure (transient errors are the retry layer's business).
+// The pager calls it on every failed mutation path — immediate writes,
+// EndOp flushes and commits, allocations and frees; core also reports
+// asynchronous commit-ticket failures here. Only the first fault is kept.
+func (s *Store) NoteWriteFault(err error) {
+	if err == nil || faults.Classify(err) != faults.Permanent {
+		return
+	}
+	s.wfault.CompareAndSwap(nil, &writeFault{err: err})
+}
+
+// WriteFault returns the first permanent write-path failure recorded since
+// open (or the last ClearWriteFault), or nil. A non-nil result is the
+// pager-level signal on which core flips into read-only degraded mode.
+func (s *Store) WriteFault() error {
+	if f := s.wfault.Load(); f != nil {
+		return f.err
+	}
+	return nil
+}
+
+// ClearWriteFault resets the write-fault latch (after an operator repaired
+// the underlying device and cleared degraded mode).
+func (s *Store) ClearWriteFault() { s.wfault.Store(nil) }
+
+// Quarantine marks a block as known-corrupt: reads of it fail fast with a
+// typed *CorruptError instead of re-reading (and re-failing on) the bad
+// image, so lookups keep serving from clean blocks. A successful write of
+// the block — a scrubber repair or a normal update rewriting it — lifts
+// the quarantine.
+func (s *Store) Quarantine(id BlockID, cause error) {
+	detail := "unreadable"
+	if cause != nil {
+		detail = cause.Error()
+	}
+	if _, loaded := s.quar.LoadOrStore(id, detail); !loaded {
+		s.nquar.Add(1)
+	}
+}
+
+// Unquarantine clears a block's quarantine mark.
+func (s *Store) Unquarantine(id BlockID) {
+	if _, loaded := s.quar.LoadAndDelete(id); loaded {
+		s.nquar.Add(-1)
+	}
+}
+
+// QuarantinedBlocks lists the currently quarantined blocks in ascending
+// order.
+func (s *Store) QuarantinedBlocks() []BlockID {
+	var ids []BlockID
+	s.quar.Range(func(k, _ any) bool {
+		ids = append(ids, k.(BlockID))
+		return true
+	})
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// quarantineErr returns the fast-fail error for a quarantined block, or
+// nil. The counter fast path keeps the common case (no quarantine) to one
+// atomic load.
+func (s *Store) quarantineErr(id BlockID) error {
+	if s.nquar.Load() == 0 {
+		return nil
+	}
+	if v, ok := s.quar.Load(id); ok {
+		return &CorruptError{Block: id, Region: "block", Detail: "quarantined: " + v.(string)}
+	}
+	return nil
+}
+
+// liftQuarantine drops a block's quarantine after a successful write of a
+// full fresh image.
+func (s *Store) liftQuarantine(id BlockID) {
+	if s.nquar.Load() != 0 {
+		s.Unquarantine(id)
+	}
+}

@@ -78,6 +78,18 @@ func (g *Log) push(e Entry) {
 	g.entries = append(g.entries, e)
 }
 
+// DropAll forgets every logged modification and marks the log lossy, so no
+// cached value taken before the call can be repaired by replay: every later
+// cache hit re-validates through a full structure lookup. Core uses it when
+// entering degraded mode, where the in-memory labeler is rolled back to the
+// last committed metadata and cached labels may postdate the rollback.
+func (g *Log) DropAll() {
+	g.clock++
+	g.lastMod = g.clock
+	g.entries = g.entries[:0]
+	g.dropped = true
+}
+
 // replayableFrom reports whether every modification made after ts is still
 // in the log.
 func (g *Log) replayableFrom(ts uint64) bool {
