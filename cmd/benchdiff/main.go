@@ -10,12 +10,16 @@
 //	benchdiff results/baseline.json BENCH_concentrated.json
 //	benchdiff -threshold 0.10 -wall old.json new.json
 //	benchdiff -max 'group-8:pager_wal_syncs_per_op=0.25' base.json cur.json
+//	benchdiff -min 'group-8:phase_share_commit_wait=0.2' base.json cur.json
 //
 // -max adds an ABSOLUTE ceiling on a gauge of the current snapshot
 // (scheme:gauge=value, repeatable), independent of the baseline: the
 // group-commit contract "under a quarter of an fsync per op at batch 8"
 // is such a bound — a number the design promises, not a number relative
-// to last week.
+// to last week. -min is the symmetric absolute floor, for gauges whose
+// collapse signals breakage — e.g. phase_share_commit_wait, the fraction
+// of durable batch latency attributed to the commit path: a floor holds
+// the phase-attribution plumbing itself to account for the fsync cost.
 //
 // Exit status: 0 when no metric regressed, 1 when at least one did, 2 on
 // unreadable files or incomparable snapshots (different experiments or
@@ -32,17 +36,17 @@ import (
 	"boxes/internal/bench"
 )
 
-// maxFlags collects repeatable -max scheme:gauge=value assertions.
-type maxFlags []maxAssert
+// boundFlags collects repeatable -max/-min scheme:gauge=value assertions.
+type boundFlags []boundAssert
 
-type maxAssert struct {
+type boundAssert struct {
 	scheme, gauge string
-	ceiling       float64
+	bound         float64
 }
 
-func (m *maxFlags) String() string { return fmt.Sprintf("%d assertions", len(*m)) }
+func (m *boundFlags) String() string { return fmt.Sprintf("%d assertions", len(*m)) }
 
-func (m *maxFlags) Set(s string) error {
+func (m *boundFlags) Set(s string) error {
 	head, val, ok := strings.Cut(s, "=")
 	if !ok {
 		return fmt.Errorf("want scheme:gauge=value, got %q", s)
@@ -51,26 +55,30 @@ func (m *maxFlags) Set(s string) error {
 	if !ok {
 		return fmt.Errorf("want scheme:gauge=value, got %q", s)
 	}
-	ceiling, err := strconv.ParseFloat(val, 64)
+	bound, err := strconv.ParseFloat(val, 64)
 	if err != nil {
-		return fmt.Errorf("bad ceiling in %q: %v", s, err)
+		return fmt.Errorf("bad bound in %q: %v", s, err)
 	}
-	*m = append(*m, maxAssert{scheme: scheme, gauge: gauge, ceiling: ceiling})
+	*m = append(*m, boundAssert{scheme: scheme, gauge: gauge, bound: bound})
 	return nil
 }
 
-// checkMax verifies one absolute ceiling against the current snapshot.
-// The addressed scheme and gauge must exist: a silently missing metric
-// would turn the gate into a no-op.
-func checkMax(current bench.SnapshotFile, a maxAssert) error {
+// checkBound verifies one absolute ceiling (floor=false) or floor
+// (floor=true) against the current snapshot. The addressed scheme and
+// gauge must exist: a silently missing metric would turn the gate into a
+// no-op.
+func checkBound(current bench.SnapshotFile, a boundAssert, floor bool) error {
 	for _, s := range current.Schemes {
 		if s.Scheme != a.scheme {
 			continue
 		}
 		for key, v := range s.Gauges {
 			if key == a.gauge || strings.HasPrefix(key, a.gauge+"{") {
-				if v > a.ceiling {
-					return fmt.Errorf("%s %s = %.4g exceeds ceiling %.4g", a.scheme, a.gauge, v, a.ceiling)
+				if !floor && v > a.bound {
+					return fmt.Errorf("%s %s = %.4g exceeds ceiling %.4g", a.scheme, a.gauge, v, a.bound)
+				}
+				if floor && v < a.bound {
+					return fmt.Errorf("%s %s = %.4g below floor %.4g", a.scheme, a.gauge, v, a.bound)
 				}
 				return nil
 			}
@@ -83,8 +91,9 @@ func checkMax(current bench.SnapshotFile, a maxAssert) error {
 func main() {
 	threshold := flag.Float64("threshold", 0.25, "relative regression tolerance (0.25 = fail when 25% worse)")
 	wall := flag.Bool("wall", false, "also compare wall-clock metrics (ops/sec, p99 latency); same-machine snapshots only")
-	var maxes maxFlags
+	var maxes, mins boundFlags
 	flag.Var(&maxes, "max", "absolute gauge ceiling on the current snapshot, scheme:gauge=value (repeatable)")
+	flag.Var(&mins, "min", "absolute gauge floor on the current snapshot, scheme:gauge=value (repeatable)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] <baseline.json> <current.json>")
@@ -103,17 +112,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	failedMax := 0
+	failedBounds := 0
 	for _, a := range maxes {
-		if err := checkMax(current, a); err != nil {
+		if err := checkBound(current, a, false); err != nil {
 			fmt.Printf("benchdiff: %s: ceiling violated: %v\n", current.Experiment, err)
-			failedMax++
+			failedBounds++
+		}
+	}
+	for _, a := range mins {
+		if err := checkBound(current, a, true); err != nil {
+			fmt.Printf("benchdiff: %s: floor violated: %v\n", current.Experiment, err)
+			failedBounds++
 		}
 	}
 	if len(regs) == 0 {
-		fmt.Printf("benchdiff: %s: no regressions beyond %.0f%% (%d schemes compared, %d ceilings held)\n",
-			current.Experiment, *threshold*100, len(current.Schemes), len(maxes)-failedMax)
-		if failedMax > 0 {
+		fmt.Printf("benchdiff: %s: no regressions beyond %.0f%% (%d schemes compared, %d bounds held)\n",
+			current.Experiment, *threshold*100, len(current.Schemes), len(maxes)+len(mins)-failedBounds)
+		if failedBounds > 0 {
 			os.Exit(1)
 		}
 		return

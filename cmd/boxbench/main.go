@@ -38,6 +38,7 @@ func main() {
 		xmark     = flag.Int("xmark", 0, "override: XMark document elements")
 		xprime    = flag.Int("xprime", 0, "override: XMark priming prefix excluded from measurement")
 		metrics   = flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (\":0\" picks a port)")
+		trace     = flag.String("trace", "", "record spans and write a Chrome trace-event JSON file (open in Perfetto)")
 		linger    = flag.Bool("linger", false, "with -metrics: keep serving after the experiments until interrupted")
 	)
 	flag.Parse()
@@ -61,8 +62,10 @@ func main() {
 		cfg.XMarkPrime = *xprime
 	}
 
-	if *metrics != "" {
+	if *metrics != "" || *trace != "" {
 		cfg.Metrics = obs.NewRegistry()
+	}
+	if *metrics != "" {
 		ln, err := obs.Serve(*metrics, cfg.Metrics)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "boxbench: metrics: %v\n", err)
@@ -70,6 +73,23 @@ func main() {
 		}
 		defer ln.Close()
 		fmt.Printf("metrics : http://%s/metrics (pprof under /debug/pprof/)\n", ln.Addr())
+	}
+	if *trace != "" {
+		cfg.Metrics.Tracer().Start(obs.TraceOptions{})
+		defer func() {
+			f, err := os.Create(*trace)
+			if err == nil {
+				err = obs.WriteChromeTrace(f, cfg.Metrics.Tracer())
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "boxbench: trace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace   : wrote %s (load in Perfetto / chrome://tracing)\n", *trace)
+		}()
 	}
 
 	type experiment struct {

@@ -189,7 +189,25 @@ func printCrashDump(path string) error {
 		sort.Strings(ops)
 		fmt.Printf("ops     : %s\n", strings.Join(ops, " "))
 	}
+	if len(d.SlowOps) > 0 {
+		fmt.Printf("slow ops: %d captured (oldest first)\n", len(d.SlowOps))
+		for _, s := range d.SlowOps {
+			fmt.Printf("  %-14s %-8s %10v  %d spans%s\n", s.Root.Name, s.Root.Scheme,
+				time.Duration(s.Root.Dur).Round(time.Microsecond), len(s.Tree), errSuffix(s.Root.Err))
+			for _, sp := range s.Tree {
+				fmt.Printf("    %-26s %10v%s\n", sp.Name,
+					time.Duration(sp.Dur).Round(time.Microsecond), errSuffix(sp.Err))
+			}
+		}
+	}
 	return nil
+}
+
+func errSuffix(e string) string {
+	if e == "" {
+		return ""
+	}
+	return "  ERROR: " + e
 }
 
 func formatEvent(e obs.EventRecord) string {
@@ -199,7 +217,11 @@ func formatEvent(e obs.EventRecord) string {
 	s := fmt.Sprintf("%-8s %-14s %8v  r=%d w=%d", e.Scheme, e.Op,
 		time.Duration(e.Duration).Round(time.Microsecond), e.Reads, e.Writes)
 	if e.Error != "" {
-		s += "  ERROR: " + e.Error
+		s += "  ERROR"
+		if e.ErrorClass != "" {
+			s += "(" + e.ErrorClass + ")"
+		}
+		s += ": " + e.Error
 	}
 	return s
 }

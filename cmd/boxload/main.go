@@ -45,6 +45,8 @@ func main() {
 		batch    = flag.Int("batch", 0, "load element-wise in ApplyBatch transactions of N inserts (0 = one bulk load)")
 		groupN   = flag.Int("group-commit", 0, "with -durable: coalesce up to N transactions per WAL fsync")
 		metrics  = flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (\":0\" picks a port)")
+		trace    = flag.String("trace", "", "record spans and write a Chrome trace-event JSON file (open in Perfetto)")
+		slowOp   = flag.Duration("slow-op", 0, "log operations slower than this and keep their span trees (e.g. 5ms)")
 		crashDir = flag.String("crashdir", "", "write flight-recorder crash dumps to this directory on op errors")
 		linger   = flag.Bool("linger", false, "with -metrics: keep serving after the work until interrupted")
 	)
@@ -103,8 +105,10 @@ func main() {
 		}
 		opts.Backend = fb
 	}
-	if *metrics != "" {
+	if *metrics != "" || *trace != "" {
 		opts.Metrics = obs.NewRegistry()
+	}
+	if *metrics != "" {
 		ln, err := obs.Serve(*metrics, opts.Metrics)
 		if err != nil {
 			fatal(err)
@@ -112,9 +116,28 @@ func main() {
 		defer ln.Close()
 		fmt.Printf("metrics : http://%s/metrics (pprof under /debug/pprof/)\n", ln.Addr())
 	}
+	if *trace != "" {
+		opts.Metrics.Tracer().Start(obs.TraceOptions{SlowOp: *slowOp})
+	}
+	opts.SlowOpThreshold = *slowOp
 	st, err := core.Open(opts)
 	if err != nil {
 		fatal(err)
+	}
+	if *trace != "" {
+		defer func() {
+			f, err := os.Create(*trace)
+			if err == nil {
+				err = obs.WriteChromeTrace(f, st.MetricsRegistry().Tracer())
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fatal(fmt.Errorf("trace: %w", err))
+			}
+			fmt.Printf("trace   : wrote %s (load in Perfetto / chrome://tracing)\n", *trace)
+		}()
 	}
 	if *groupN > 0 {
 		// A sequential loader only benefits from group commit when it does

@@ -1,0 +1,219 @@
+// Command boxtop is a live latency console for a running boxes process
+// (boxbench -metrics, boxload -metrics -linger, or any embedder serving
+// obs.Handler). It polls /debug/spans — per-op and per-phase latency
+// summaries plus captured slow operations — and a few durability gauges
+// from /metrics, and redraws a compact dashboard each interval.
+//
+// Usage:
+//
+//	boxtop :9100
+//	boxtop -interval 2s -phases 12 localhost:9100
+//	boxtop -once :9100          # one snapshot, no screen clearing (scriptable)
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"boxes/internal/obs"
+)
+
+func main() {
+	var (
+		interval = flag.Duration("interval", 1*time.Second, "poll interval")
+		n        = flag.Int("n", 0, "number of polls before exiting (0 = forever)")
+		once     = flag.Bool("once", false, "print one snapshot without clearing the screen and exit")
+		phases   = flag.Int("phases", 16, "phase rows shown (hottest first)")
+		slow     = flag.Int("slow", 5, "slow operations shown (newest first)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: boxtop [flags] <host:port>")
+		os.Exit(2)
+	}
+	base := flag.Arg(0)
+	if !strings.Contains(base, "://") {
+		if strings.HasPrefix(base, ":") {
+			base = "localhost" + base
+		}
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	opts := renderOptions{Phases: *phases, Slow: *slow}
+	for i := 0; *n == 0 || i < *n; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		d, gauges, err := poll(client, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "boxtop: %v\n", err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriter(os.Stdout)
+		if !*once {
+			fmt.Fprint(w, "\x1b[H\x1b[2J") // home + clear
+		}
+		render(w, base, d, gauges, opts)
+		w.Flush()
+		if *once {
+			return
+		}
+	}
+}
+
+// poll fetches /debug/spans and the durability gauge lines of /metrics.
+func poll(client *http.Client, base string) (obs.SpansDebug, []string, error) {
+	var d obs.SpansDebug
+	resp, err := client.Get(base + "/debug/spans")
+	if err != nil {
+		return d, nil, err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&d)
+	resp.Body.Close()
+	if err != nil {
+		return d, nil, fmt.Errorf("decoding /debug/spans: %w", err)
+	}
+	gauges, err := pollGauges(client, base)
+	if err != nil {
+		return d, nil, err
+	}
+	return d, gauges, nil
+}
+
+// gaugePrefixes selects the /metrics families worth a dashboard line: the
+// WAL/group-commit behavior the trace view exists to explain.
+var gaugePrefixes = []string{
+	"pager_wal_syncs_per_commit",
+	"pager_wal_group_size",
+	"pager_gc_queue_depth",
+	"pager_gc_overlay_blocks",
+}
+
+func pollGauges(client *http.Client, base string) ([]string, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, p := range gaugePrefixes {
+			if strings.HasPrefix(line, p) {
+				out = append(out, line)
+				break
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+type renderOptions struct {
+	Phases int // max phase rows
+	Slow   int // max slow ops
+}
+
+// render draws one dashboard frame. Split out from main so tests can drive
+// it with a canned SpansDebug.
+func render(w io.Writer, target string, d obs.SpansDebug, gauges []string, o renderOptions) {
+	state := "histograms only"
+	if d.TracingEnabled {
+		state = "tracing on"
+	}
+	fmt.Fprintf(w, "boxtop  %s  (%s)  %s\n\n", target, state, time.Now().Format("15:04:05"))
+
+	fmt.Fprintf(w, "%-16s %10s %8s %10s %10s %10s\n", "op", "count", "errors", "p50", "p99", "total")
+	for _, op := range d.Ops {
+		fmt.Fprintf(w, "%-16s %10d %8d %10s %10s %10s\n",
+			op.Op, op.Count, op.Errors, ns(op.P50Ns), ns(op.P99Ns), ns(op.TotalNs))
+	}
+
+	fmt.Fprintf(w, "\n%-28s %10s %10s %10s %10s %6s\n", "phase", "count", "p50", "p99", "total", "share")
+	var grand uint64
+	for _, ph := range d.Phases {
+		grand += ph.TotalNs
+	}
+	rows := d.Phases
+	if o.Phases > 0 && len(rows) > o.Phases {
+		rows = rows[:o.Phases]
+	}
+	for _, ph := range rows {
+		share := 0.0
+		if grand > 0 {
+			share = float64(ph.TotalNs) / float64(grand)
+		}
+		fmt.Fprintf(w, "%-28s %10d %10s %10s %10s %5.1f%%\n",
+			ph.Op+"."+ph.Phase, ph.Count, ns(ph.P50Ns), ns(ph.P99Ns), ns(ph.TotalNs), 100*share)
+	}
+	if len(d.Phases) > len(rows) {
+		fmt.Fprintf(w, "  ... %d more phase rows\n", len(d.Phases)-len(rows))
+	}
+
+	if len(gauges) > 0 {
+		fmt.Fprintln(w, "\ndurability:")
+		sort.Strings(gauges)
+		for _, g := range gauges {
+			fmt.Fprintf(w, "  %s\n", g)
+		}
+	}
+
+	if len(d.SlowOps) > 0 {
+		fmt.Fprintf(w, "\nslow ops (last %d):\n", min(o.Slow, len(d.SlowOps)))
+		shown := d.SlowOps
+		if o.Slow > 0 && len(shown) > o.Slow {
+			shown = shown[len(shown)-o.Slow:] // newest are at the tail
+		}
+		for i := len(shown) - 1; i >= 0; i-- {
+			s := shown[i]
+			fmt.Fprintf(w, "  %-10s %-8s %10s  %d spans%s\n",
+				s.Root.Name, s.Root.Scheme, ns(uint64(s.Root.Dur)), len(s.Tree), errSuffix(s.Root.Err))
+			for _, sp := range topSpans(s.Tree, 4) {
+				fmt.Fprintf(w, "    %-24s %10s%s\n", sp.Name, ns(uint64(sp.Dur)), errSuffix(sp.Err))
+			}
+		}
+	}
+}
+
+// topSpans returns the k longest spans of a slow-op tree.
+func topSpans(tree []obs.SpanRecord, k int) []obs.SpanRecord {
+	out := append([]obs.SpanRecord(nil), tree...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Dur > out[j].Dur })
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func errSuffix(e string) string {
+	if e == "" {
+		return ""
+	}
+	return "  ERROR: " + e
+}
+
+// ns renders a nanosecond quantity compactly.
+func ns(v uint64) string {
+	return time.Duration(v).Round(time.Microsecond).String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

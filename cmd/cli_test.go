@@ -141,7 +141,7 @@ func TestInspectCrashDump(t *testing.T) {
 	for _, want := range []string{
 		"trigger : W-BOX",
 		"insert",
-		"ERROR: injected failure: write budget exhausted",
+		"ERROR(permanent): injected failure: write budget exhausted",
 		`boxes_tree_height{scheme="W-BOX"} = 3`,
 	} {
 		if !strings.Contains(out, want) {

@@ -197,15 +197,26 @@ func (r *Recorder) Observe(reg *obs.Registry, scheme string, op obs.Op) *Recorde
 // Do runs op and records its I/O cost and wall time (unless still in the
 // skip prefix). The recorder keeps its own per-op durations because the
 // registry's histograms are shared across every scheme in a run; per-scheme
-// p50/p99 must come from here.
+// p50/p99 must come from here. With a registry attached the op's wall time
+// is also attributed by phase: the pager records block_read/block_write
+// (and WAL commit) under the writer-op row, and whatever the pager did not
+// claim lands in the op's structure phase.
 func (r *Recorder) Do(op func() error) error {
 	before := r.store.Stats()
 	ctx := r.reg.Begin(r.scheme, r.op, before.Reads, before.Writes)
+	r.reg.SetWriterOp(r.op)
+	phBefore := r.store.PhaseStats()
 	start := time.Now()
 	err := op()
 	elapsed := time.Since(start)
+	r.reg.ClearWriterOp()
 	after := r.store.Stats()
 	r.reg.End(ctx, after.Reads, after.Writes, err)
+	if r.reg != nil {
+		if resid := int64(elapsed) - r.store.PhaseStats().Sub(phBefore).Total(); resid > 0 {
+			r.reg.ObservePhase(r.op, obs.PhaseStructure, time.Duration(resid))
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -227,9 +238,19 @@ func (r *Recorder) Do(op func() error) error {
 func (r *Recorder) Bracket(op obs.Op, fn func() error) error {
 	before := r.store.Stats()
 	ctx := r.reg.Begin(r.scheme, op, before.Reads, before.Writes)
+	r.reg.SetWriterOp(op)
+	phBefore := r.store.PhaseStats()
+	start := time.Now()
 	err := fn()
+	elapsed := time.Since(start)
+	r.reg.ClearWriterOp()
 	after := r.store.Stats()
 	r.reg.End(ctx, after.Reads, after.Writes, err)
+	if r.reg != nil {
+		if resid := int64(elapsed) - r.store.PhaseStats().Sub(phBefore).Total(); resid > 0 {
+			r.reg.ObservePhase(op, obs.PhaseStructure, time.Duration(resid))
+		}
+	}
 	return err
 }
 
@@ -349,6 +370,45 @@ type SchemeRun struct {
 	// Gauges holds the scheme's structural health at workload end (walked
 	// synchronously after the last operation), scheme label included.
 	Gauges []obs.GaugeValue
+
+	// Phases attributes the workload's wall time by latency phase, keyed
+	// "row.phase" (e.g. "insert.block_write", "wal.fsync"). Populated by the
+	// experiments that thread a registry through the run (durable, group).
+	Phases map[string]PhaseSummary
+}
+
+// PhaseSummary is one op-phase's latency contribution over a workload.
+type PhaseSummary struct {
+	Count   uint64 `json:"count"`
+	TotalNs uint64 `json:"total_ns"`
+	P50Ns   uint64 `json:"p50_ns"`
+	P99Ns   uint64 `json:"p99_ns"`
+}
+
+// PhaseSummaries flattens the phase-histogram delta between two registry
+// snapshots into "row.phase" keyed summaries (empty phases omitted).
+func PhaseSummaries(before, after obs.Snapshot) map[string]PhaseSummary {
+	out := make(map[string]PhaseSummary)
+	for row, phases := range after.Phases {
+		for ph, h := range phases {
+			var old obs.HistSnapshot
+			if m := before.Phases[row]; m != nil {
+				old = m[ph]
+			}
+			d := h.Sub(old)
+			n := d.Total()
+			if n == 0 {
+				continue
+			}
+			out[row+"."+ph] = PhaseSummary{
+				Count:   n,
+				TotalNs: d.Sum,
+				P50Ns:   d.Quantile(0.50),
+				P99Ns:   d.Quantile(0.99),
+			}
+		}
+	}
+	return out
 }
 
 // WriteAvgTable prints the "amortized update cost" form of a figure.

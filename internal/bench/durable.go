@@ -44,12 +44,18 @@ func runDurableScheme(dir string, cfg Config, spec SchemeSpec) (SchemeRun, error
 		return SchemeRun{}, err
 	}
 	defer fb.Close()
+	// Phase attribution needs a registry; give the run a private one when the
+	// caller did not supply a shared one.
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	store := pager.NewStore(fb)
 	cfg.attach(spec.Name, store)
 	l, err := spec.NewOn(store, cfg.BlockSize)
 	if err != nil {
 		return SchemeRun{}, err
 	}
+	phBefore := cfg.Metrics.Snapshot()
 	rec := NewRecorder(store).Observe(cfg.Metrics, spec.Name, obs.OpInsert)
 	if err := Concentrated(l, rec, cfg.BaseElems, cfg.InsertElems); err != nil {
 		return SchemeRun{}, err
@@ -67,6 +73,7 @@ func runDurableScheme(dir string, cfg Config, spec SchemeSpec) (SchemeRun, error
 		OpsPerSec: rec.OpsPerSec(),
 		P50Ns:     rec.LatencyPercentile(0.50),
 		P99Ns:     rec.LatencyPercentile(0.99),
+		Phases:    PhaseSummaries(phBefore, cfg.Metrics.Snapshot()),
 	}
 	if c, ok := l.(obs.Collector); ok {
 		run.Gauges = obs.WithLabel(c.CollectGauges(), "scheme", spec.Name)

@@ -53,6 +53,10 @@ type SchemeSnapshot struct {
 	// Gauges is the scheme's final structural health, flattened to
 	// fully-qualified sample keys (name plus rendered labels).
 	Gauges map[string]float64 `json:"gauges,omitempty"`
+	// Phases attributes the workload's wall time by latency phase, keyed
+	// "row.phase" (present for the registry-threaded experiments). The
+	// values are wall-clock measurements, machine-dependent like ops/sec.
+	Phases map[string]PhaseSummary `json:"phases,omitempty"`
 }
 
 // SnapshotFile is the on-disk schema of one BENCH_<experiment>.json.
@@ -83,6 +87,7 @@ func SnapshotRuns(experiment string, cfg Config, runs []SchemeRun) SnapshotFile 
 			LatencyP99Ns: r.P99Ns,
 			Height:       r.Height,
 			LabelBits:    r.LabelBits,
+			Phases:       r.Phases,
 		}
 		if len(r.Gauges) > 0 {
 			ss.Gauges = make(map[string]float64, len(r.Gauges))

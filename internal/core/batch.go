@@ -162,8 +162,14 @@ func (s *Store) durableBatch(fn func() error) error {
 }
 
 // applyOne dispatches one batch op against the labeler. It runs inside the
-// batch's pager operation, so reads see the batch's prior writes.
-func (s *Store) applyOne(op *Op, res *OpResult) error {
+// batch's pager operation, so reads see the batch's prior writes. When span
+// recording is on, each positional op becomes a child span of the batch, so
+// a trace shows the individual inserts that later coalesce under one fsync.
+func (s *Store) applyOne(op *Op, res *OpResult) (err error) {
+	if tr := s.reg.Tracer(); tr.Enabled() {
+		sp := tr.StartAuto(false, op.Kind.String())
+		defer func() { sp.End(err) }()
+	}
 	switch op.Kind {
 	case OpInsertBefore:
 		e, err := s.labeler.InsertElementBefore(op.LID)

@@ -7,7 +7,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync/atomic"
+	"time"
 
 	"boxes/internal/bbox"
 	"boxes/internal/faults"
@@ -140,6 +142,13 @@ type Options struct {
 	// CrashRing is how many recent op events the flight recorder retains
 	// (default 64).
 	CrashRing int
+
+	// SlowOpThreshold enables the slow-op log: span recording is turned on
+	// for the store's registry, and any operation whose wall time meets the
+	// threshold has its full span tree captured (surfaced via /debug/spans
+	// and flight-recorder crash dumps) and logged via slog at Warn. Zero
+	// keeps span recording off; phase histograms are always on either way.
+	SlowOpThreshold time.Duration
 }
 
 // Store is a dynamic order-based labeling service for one XML document.
@@ -157,6 +166,16 @@ type Store struct {
 	// after releasing its write lock, so concurrent writers coalesce).
 	deferred bool
 	ticket   *pager.CommitTicket
+
+	// Phase-attribution state, guarded by the exclusive writer section:
+	// extraNs accumulates durable()'s instrumented sections (meta_persist,
+	// fsync_wait) so end() can subtract them from the residual structure
+	// phase; pendingLockWait is the write-lock acquisition wait SyncStore
+	// parked for the next begin() to attribute; lastOp is the most recent
+	// exclusive op, for attributing deferred ticket waits after end().
+	extraNs         int64
+	pendingLockWait int64
+	lastOp          obs.Op
 
 	// deg is non-nil in read-only degraded mode (see resilience.go).
 	deg atomic.Pointer[degradedInfo]
@@ -187,6 +206,9 @@ func Open(opts Options) (*Store, error) {
 		reg.AddHook(flight)
 	}
 	reg.SetScheme(opts.Scheme.String())
+	if opts.SlowOpThreshold > 0 {
+		reg.Tracer().Start(obs.TraceOptions{SlowOp: opts.SlowOpThreshold, SlowLogger: slog.Default()})
+	}
 
 	popts := []pager.Option{pager.WithObserver(reg)}
 	if opts.CacheBlocks > 0 {
@@ -317,18 +339,80 @@ func (s *Store) MetricsRegistry() *obs.Registry { return s.reg }
 // the structural counters.
 func (s *Store) Metrics() obs.Snapshot { return s.reg.Snapshot() }
 
+// opMeasure carries one in-flight operation's measurement state between
+// begin and end: the registry context, the pager phase-counter snapshot
+// (for the residual "structure" phase), and the root span when tracing.
+type opMeasure struct {
+	ctx  obs.OpCtx
+	op   obs.Op
+	excl bool // runs in the exclusive writer section
+	ph   pager.PhaseNanos
+	sp   obs.Span
+}
+
 // begin opens a per-operation measurement against the store's registry,
-// snapshotting the pager's cumulative I/O counters.
-func (s *Store) begin(op obs.Op) obs.OpCtx {
+// snapshotting the pager's cumulative I/O counters and phase time.
+//
+// Every operation except a lookup on the shared read path runs in the
+// exclusive writer section (the single-goroutine contract, or under a
+// SyncStore write lock), so installing it as the registry's writer op is
+// race-free: concurrent shared-mode readers are statically lookups and
+// never touch the slot.
+func (s *Store) begin(op obs.Op) opMeasure {
 	st := s.store.Stats()
-	return s.reg.Begin(s.schemeName, op, st.Reads, st.Writes)
+	m := opMeasure{op: op, excl: op != obs.OpLookup || !s.store.Shared()}
+	if m.excl {
+		s.reg.SetWriterOp(op)
+		if w := s.pendingLockWait; w != 0 {
+			s.pendingLockWait = 0
+			s.reg.ObservePhase(op, obs.PhaseLockWaitWrite, time.Duration(w))
+		}
+	}
+	if tr := s.reg.Tracer(); tr.Enabled() {
+		m.sp = tr.StartOp(s.schemeName, op, !m.excl)
+	}
+	m.ph = s.store.PhaseStats()
+	m.ctx = s.reg.Begin(s.schemeName, op, st.Reads, st.Writes)
+	return m
 }
 
 // end closes a measurement: the I/O accumulated since begin is the
-// operation's charge.
-func (s *Store) end(c obs.OpCtx, err error) {
+// operation's charge, and the wall time not covered by any instrumented
+// phase (backend I/O, commit, meta persist, ticket wait) is attributed to
+// the residual "structure" phase — in-memory structure work. The residual
+// is exact when operations run sequentially; under concurrent shared-mode
+// readers the pager's phase counters are global, so a writer overlapping
+// readers under-counts its residual (clamped at zero), never over-counts
+// a phase.
+func (s *Store) end(m opMeasure, err error) {
 	st := s.store.Stats()
-	s.reg.End(c, st.Reads, st.Writes, err)
+	d := s.reg.End(m.ctx, st.Reads, st.Writes, err)
+	delta := s.store.PhaseStats().Sub(m.ph)
+	var extra int64
+	if m.excl {
+		extra = s.extraNs
+		s.extraNs = 0
+		s.lastOp = m.op
+		s.reg.ClearWriterOp()
+	}
+	resid := int64(d) - delta.Total() - extra
+	if resid < 0 {
+		resid = 0
+	}
+	s.reg.ObservePhase(m.op, obs.PhaseStructure, time.Duration(resid))
+	m.sp.End(err)
+}
+
+// notePhase attributes one instrumented section inside durable() to the
+// current writer op's phase histograms, and accumulates it into extraNs so
+// end() can subtract it from the residual structure phase.
+func (s *Store) notePhase(ph obs.Phase, start time.Time) {
+	d := time.Since(start)
+	s.extraNs += int64(d)
+	s.reg.ObservePhase(s.reg.WriterOp(), ph, d)
+	if tr := s.reg.Tracer(); tr.Enabled() {
+		tr.RecordAuto(false, ph.String(), start, d)
+	}
 }
 
 // durable runs one mutating operation. With Options.Durable it opens an
@@ -348,7 +432,9 @@ func (s *Store) durable(fn func() error) error {
 	s.store.BeginOp()
 	err := fn()
 	if err == nil {
+		t0 := time.Now()
 		err = s.persistMeta()
+		s.notePhase(obs.PhaseMetaPersist, t0)
 	}
 	if e := s.store.EndOp(); err == nil {
 		err = e
@@ -356,8 +442,13 @@ func (s *Store) durable(fn func() error) error {
 	if t := s.store.TakeTicket(); t != nil {
 		if s.deferred {
 			s.ticket = t
-		} else if werr := t.Wait(); err == nil {
-			err = werr
+		} else {
+			t0 := time.Now()
+			werr := t.Wait()
+			s.notePhase(obs.PhaseFsyncWait, t0)
+			if err == nil {
+				err = werr
+			}
 		}
 	}
 	s.noteFaults(err)

@@ -44,25 +44,44 @@ func NewSyncStore(st *Store) *SyncStore {
 // operations while using it.
 func (s *SyncStore) Unwrap() *Store { return s.st }
 
-// rlock acquires the read lock, recording the wait.
+// rlock acquires the read lock, recording the wait both in the legacy
+// lock-wait histogram and as the lookup row's lock_wait_read phase.
 func (s *SyncStore) rlock() {
 	start := time.Now()
 	s.mu.RLock()
-	s.st.reg.ObserveLockWait(obs.LockRead, time.Since(start))
+	d := time.Since(start)
+	s.st.reg.ObserveLockWait(obs.LockRead, d)
+	s.st.reg.ObservePhase(obs.OpLookup, obs.PhaseLockWaitRead, d)
 }
 
 // write runs fn under the write lock with the pager's writer bracket, then
-// waits for the commit ticket outside the lock.
+// waits for the commit ticket outside the lock. The lock wait is parked in
+// the store so the next begin() attributes it to the op that paid for it
+// (the op enum is not known until fn dispatches); the deferred ticket wait
+// is attributed to the op recorded by the last end() under this lock.
 func (s *SyncStore) write(fn func() error) error {
 	start := time.Now()
 	s.mu.Lock()
-	s.st.reg.ObserveLockWait(obs.LockWrite, time.Since(start))
+	wait := time.Since(start)
+	s.st.reg.ObserveLockWait(obs.LockWrite, wait)
+	s.st.pendingLockWait = int64(wait)
 	s.st.store.BeginWrite()
 	err := fn()
 	s.st.store.EndWrite()
 	ticket := s.st.TakeTicket()
+	op := s.st.lastOp
 	s.mu.Unlock()
-	if werr := ticket.Wait(); werr != nil {
+	var werr error
+	if ticket != nil {
+		t0 := time.Now()
+		werr = ticket.Wait()
+		d := time.Since(t0)
+		s.st.reg.ObservePhase(op, obs.PhaseFsyncWait, d)
+		if tr := s.st.reg.Tracer(); tr.Enabled() {
+			tr.RecordSpan(obs.LaneWriter, obs.PhaseFsyncWait.String(), 0, t0, d, 0, werr)
+		}
+	}
+	if werr != nil {
 		// A deferred commit failed after the lock was released: latch the
 		// fault and enter degraded mode under a fresh write lock (the
 		// rollback touches the labeler, which readers may be using).

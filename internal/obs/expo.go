@@ -26,6 +26,59 @@ func (h HistSnapshot) Total() uint64 {
 	return t
 }
 
+// Sub returns the bucket-wise difference h - old (the observations made
+// between the two snapshots), saturating at zero per bucket.
+func (h HistSnapshot) Sub(old HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Bounds: h.Bounds, Counts: make([]uint64, len(h.Counts)), Sum: satSub(h.Sum, old.Sum)}
+	for i := range h.Counts {
+		ov := uint64(0)
+		if i < len(old.Counts) {
+			ov = old.Counts[i]
+		}
+		out.Counts[i] = satSub(h.Counts[i], ov)
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket counts,
+// returning the upper bound of the bucket containing the quantile (the
+// largest finite bound for overflow observations). Returns 0 for an empty
+// histogram.
+func (h HistSnapshot) Quantile(q float64) uint64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Nearest-rank: the smallest rank whose cumulative share reaches q.
+	rank := uint64(q * float64(total))
+	if float64(rank) < q*float64(total) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			break
+		}
+	}
+	if len(h.Bounds) > 0 {
+		return h.Bounds[len(h.Bounds)-1]
+	}
+	return 0
+}
+
 // OpSnapshot is a point-in-time copy of one per-operation series.
 type OpSnapshot struct {
 	Op      string
@@ -48,6 +101,10 @@ type Snapshot struct {
 	// LockWaits holds the SyncStore lock acquisition wait histograms
 	// (nanoseconds), keyed by lock kind ("read", "write").
 	LockWaits map[string]HistSnapshot
+	// Phases holds the phase-latency histograms (nanoseconds), keyed by
+	// row ("insert", "lookup", ..., "wal", "scrub") then phase name. Only
+	// rows and phases with at least one observation appear.
+	Phases map[string]map[string]HistSnapshot
 	// Gauges holds the structural health samples of every registered
 	// collector, evaluated at snapshot time (nil when none are registered).
 	Gauges []GaugeValue
@@ -93,6 +150,21 @@ func (r *Registry) Snapshot() Snapshot {
 	s.LockWaits = make(map[string]HistSnapshot, numLockKinds)
 	for k := LockKind(0); k < numLockKinds; k++ {
 		s.LockWaits[k.String()] = snapHist(&r.lockWaits[k])
+	}
+	s.Phases = make(map[string]map[string]HistSnapshot)
+	for row := 0; row < numPhaseRows; row++ {
+		for ph := Phase(0); ph < numPhases; ph++ {
+			h := &r.phases[row][ph]
+			hs := snapHist(h)
+			if hs.Total() == 0 {
+				continue
+			}
+			rn := phaseRowName(row)
+			if s.Phases[rn] == nil {
+				s.Phases[rn] = make(map[string]HistSnapshot)
+			}
+			s.Phases[rn][ph.String()] = hs
+		}
 	}
 	s.Gauges = r.GatherGauges()
 	return s
@@ -211,6 +283,35 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 		cw.printf("boxes_lock_wait_seconds_bucket{lock=\"%s\",le=\"+Inf\"} %d\n", escapeLabel(k.String()), cum)
 		cw.printf("boxes_lock_wait_seconds_sum{lock=\"%s\"} %s\n", escapeLabel(k.String()), secs(h.sum.Load()))
 		cw.printf("boxes_lock_wait_seconds_count{lock=\"%s\"} %d\n", escapeLabel(k.String()), cum)
+	}
+
+	// Phase-latency histograms: where each operation's wall time went. Only
+	// series with observations are emitted (the full op x phase matrix is
+	// mostly empty), under a single # TYPE announcement.
+	cw.printf("# HELP boxes_phase_duration_seconds Operation wall time attributed by phase.\n# TYPE boxes_phase_duration_seconds histogram\n")
+	for row := 0; row < numPhaseRows; row++ {
+		for ph := Phase(0); ph < numPhases; ph++ {
+			h := &r.phases[row][ph]
+			var cum uint64
+			var counts [maxBuckets]uint64
+			for i := 0; i <= len(h.bounds); i++ {
+				counts[i] = h.counts[i].Load()
+				cum += counts[i]
+			}
+			if cum == 0 {
+				continue
+			}
+			labels := fmt.Sprintf("op=\"%s\",phase=\"%s\"", escapeLabel(phaseRowName(row)), escapeLabel(ph.String()))
+			cum = 0
+			for i, b := range h.bounds {
+				cum += counts[i]
+				cw.printf("boxes_phase_duration_seconds_bucket{%s,le=\"%s\"} %d\n", labels, secs(b), cum)
+			}
+			cum += counts[len(h.bounds)]
+			cw.printf("boxes_phase_duration_seconds_bucket{%s,le=\"+Inf\"} %d\n", labels, cum)
+			cw.printf("boxes_phase_duration_seconds_sum{%s} %s\n", labels, secs(h.sum.Load()))
+			cw.printf("boxes_phase_duration_seconds_count{%s} %d\n", labels, cum)
+		}
 	}
 
 	// Structural counters, one # TYPE line per metric family. Several

@@ -17,6 +17,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"boxes/internal/faults"
 )
 
 // EventRecord is the JSON-serializable form of a trace event.
@@ -29,6 +31,9 @@ type EventRecord struct {
 	Reads    uint64    `json:"reads,omitempty"`
 	Writes   uint64    `json:"writes,omitempty"`
 	Error    string    `json:"error,omitempty"`
+	// ErrorClass is the faults classification of Error ("transient" or
+	// "permanent"), so degraded-mode entries are distinguishable post-mortem.
+	ErrorClass string `json:"error_class,omitempty"`
 }
 
 func toEventRecord(re RingEvent) EventRecord {
@@ -44,6 +49,10 @@ func toEventRecord(re RingEvent) EventRecord {
 		r.Writes = re.Event.Writes
 		if re.Event.Err != nil {
 			r.Error = re.Event.Err.Error()
+			r.ErrorClass = re.Event.Class
+			if r.ErrorClass == "" {
+				r.ErrorClass = faults.Classify(re.Event.Err).String()
+			}
 		}
 	}
 	return r
@@ -58,6 +67,9 @@ type CrashDump struct {
 	Events  []EventRecord `json:"recent_events"`  // ring contents, oldest first
 	Metrics Snapshot      `json:"metrics"`        // full registry snapshot
 	Gauges  []GaugeValue  `json:"gauges"`         // structural health at dump time
+	// SlowOps carries the span trees of recent slow operations when the
+	// registry's tracer captured any (additive; absent in older dumps).
+	SlowOps []SlowOp `json:"slow_ops,omitempty"`
 }
 
 // StringMap is a plain string-to-string map; the alias keeps the CrashDump
@@ -175,6 +187,7 @@ func (f *FlightRecorder) dump(ev Event, tags map[string]string) {
 		Events:  recs,
 		Metrics: snap,
 		Gauges:  snap.Gauges,
+		SlowOps: f.reg.Tracer().SlowOps(),
 	}
 	name := fmt.Sprintf("crash-%s-%s-%d-%d.json", sanitize(ev.Scheme), ev.Op, time.Now().UnixNano(), seq)
 	path := filepath.Join(f.dir, name)

@@ -16,6 +16,7 @@ type Event struct {
 	Reads    uint64        // block reads charged to this operation
 	Writes   uint64        // block writes charged to this operation
 	Err      error         // the operation's error, if any
+	Class    string        // faults classification of Err ("transient"/"permanent"), "" on success
 }
 
 // TraceHook observes operation boundaries. Implementations must be safe
@@ -72,6 +73,9 @@ func (h *SlogHook) OpEnd(ev Event) {
 	}
 	if ev.Err != nil {
 		attrs = append(attrs, slog.String("error", ev.Err.Error()))
+		if ev.Class != "" {
+			attrs = append(attrs, slog.String("error_class", ev.Class))
+		}
 	}
 	h.Logger.LogAttrs(context.Background(), h.Level, "boxes.op", attrs...)
 }

@@ -1,19 +1,26 @@
 package obs
 
 import (
+	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
 )
 
 // Handler returns an http.Handler exposing the registry at /metrics in
-// Prometheus text format, plus the standard net/http/pprof profiling
+// Prometheus text format, a JSON latency-attribution summary at
+// /debug/spans (per-op and per-phase p50/p99 plus captured slow ops — what
+// cmd/boxtop renders), plus the standard net/http/pprof profiling
 // endpoints under /debug/pprof/.
 func Handler(r *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WriteTo(w)
+	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(r.SpansDebug())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

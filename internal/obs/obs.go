@@ -23,6 +23,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"boxes/internal/faults"
 )
 
 // Op identifies one per-operation metric series.
@@ -279,6 +281,9 @@ type Registry struct {
 	counters  [numCounters]atomic.Uint64
 	ops       [numOps]opSeries
 	lockWaits [numLockKinds]hist
+	phases    [numPhaseRows][numPhases]hist
+	writerOp  atomic.Int32 // current exclusive-section op + 1; 0 = none
+	tracer    *Tracer
 	hooks     atomic.Pointer[[]TraceHook]
 
 	mu         sync.Mutex
@@ -297,6 +302,12 @@ func NewRegistry() *Registry {
 	for i := range r.lockWaits {
 		r.lockWaits[i].bounds = latencyBounds
 	}
+	for row := range r.phases {
+		for ph := range r.phases[row] {
+			r.phases[row][ph].bounds = latencyBounds
+		}
+	}
+	r.tracer = newTracer()
 	return r
 }
 
@@ -423,10 +434,12 @@ func (r *Registry) Begin(scheme string, op Op, reads, writes uint64) OpCtx {
 
 // End closes a measurement opened by Begin: reads/writes are the pager's
 // cumulative counters at operation end; the element-wise difference from
-// the Begin snapshot is the operation's I/O charge.
-func (r *Registry) End(c OpCtx, reads, writes uint64, err error) {
+// the Begin snapshot is the operation's I/O charge. It returns the measured
+// wall time so callers can attribute a residual phase (zero for an inactive
+// context).
+func (r *Registry) End(c OpCtx, reads, writes uint64, err error) time.Duration {
 	if r == nil || !c.active {
-		return
+		return 0
 	}
 	d := time.Since(c.start)
 	if d < 0 {
@@ -452,10 +465,14 @@ func (r *Registry) End(c OpCtx, reads, writes uint64, err error) {
 			Writes:   dw,
 			Err:      err,
 		}
+		if err != nil {
+			ev.Class = faults.Classify(err).String()
+		}
 		for _, h := range *hooks {
 			h.OpEnd(ev)
 		}
 	}
+	return d
 }
 
 // satSub returns a-b, saturating at zero (the counters may have been reset

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"boxes/internal/obs"
 )
@@ -793,8 +794,24 @@ func (fb *FileBackend) commit(stage map[BlockID][]byte, pre walHeaderState) erro
 	}
 	images := sortedImages(stage)
 
+	// Inline commits attribute the same "wal"-row phases as the group
+	// committer (frame_write, fsync, apply); here they nest inside the
+	// operation's wal_commit phase and, when tracing, appear as writer-lane
+	// child spans of the operation.
+	section := func(ph obs.Phase, start time.Time) {
+		if fb.obs == nil {
+			return
+		}
+		d := time.Since(start)
+		fb.obs.ObservePhaseWAL(ph, d)
+		if tr := fb.obs.Tracer(); tr.Enabled() {
+			tr.RecordAuto(false, ph.String(), start, d)
+		}
+	}
+
 	// Phase 1: log. Each frame is one raw write, then the commit record,
 	// then fsync — the durability point.
+	t0 := time.Now()
 	logged := 0
 	for _, img := range images {
 		frame := encodeWALFrame(img.id, img.data)
@@ -810,10 +827,13 @@ func (fb *FileBackend) commit(stage map[BlockID][]byte, pre walHeaderState) erro
 		return err
 	}
 	logged += len(commitFrame)
+	section(obs.PhaseFrameWrite, t0)
+	t0 = time.Now()
 	if err := fb.sync(fb.wal); err != nil {
 		fb.restoreHeaderState(pre)
 		return err
 	}
+	section(obs.PhaseFsync, t0)
 	fb.walSize += int64(logged)
 	fb.statsMu.Lock()
 	fb.stats.Commits++
@@ -826,6 +846,8 @@ func (fb *FileBackend) commit(stage map[BlockID][]byte, pre walHeaderState) erro
 	// Phase 2: apply in place. Failures past this point leave a committed
 	// transaction in the WAL; recovery at next open completes the apply.
 	// applyMu keeps the scrubber's raw reads off blocks mid-overwrite.
+	t0 = time.Now()
+	defer func() { section(obs.PhaseApply, t0) }()
 	if err := func() error {
 		fb.applyMu.Lock()
 		defer fb.applyMu.Unlock()

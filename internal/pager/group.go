@@ -112,6 +112,8 @@ type groupTxn struct {
 	seq    uint64
 	solo   bool // queue was empty and committer idle at enqueue
 	ticket *CommitTicket
+	enq    time.Time // enqueue instant, for the queue_wait phase
+	opSpan uint64    // enqueuing operation's span ID (0 when not tracing)
 }
 
 // overlayEntry is a committed-but-not-yet-applied block image.
@@ -248,6 +250,8 @@ func (fb *FileBackend) gcEnqueue(images []walImage) *CommitTicket {
 		seq:    gc.seq,
 		solo:   len(gc.queue) == 0 && gc.inflight == 0,
 		ticket: t,
+		enq:    time.Now(),
+		opSpan: fb.obs.Tracer().WriterSpanID(),
 	}
 	for _, img := range images {
 		gc.overlay[img.id] = overlayEntry{data: img.data, seq: txn.seq}
@@ -256,6 +260,27 @@ func (fb *FileBackend) gcEnqueue(images []walImage) *CommitTicket {
 	gc.cond.Broadcast()
 	gc.mu.Unlock()
 	return t
+}
+
+// GroupQueueStats is a point-in-time view of the group committer's backlog.
+type GroupQueueStats struct {
+	// QueueDepth counts transactions enqueued or currently being flushed.
+	QueueDepth int
+	// OverlayBlocks counts committed-but-unapplied block images held in the
+	// overlay map (memory pinned until the in-place apply).
+	OverlayBlocks int
+}
+
+// GroupQueueStats snapshots the committer's backlog (zeros when group
+// commit is off).
+func (fb *FileBackend) GroupQueueStats() GroupQueueStats {
+	gc := &fb.gc
+	if !gc.on.Load() {
+		return GroupQueueStats{}
+	}
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return GroupQueueStats{QueueDepth: len(gc.queue) + gc.inflight, OverlayBlocks: len(gc.overlay)}
 }
 
 // gcReadOverlay copies a committed-but-unapplied image of id into buf,
@@ -322,6 +347,22 @@ func (fb *FileBackend) committer() {
 		prevErr := gc.err
 		gc.mu.Unlock()
 
+		// Each transaction's wait from enqueue to pickup is the queue_wait
+		// phase: with coalescing it is the price of company. Recorded on the
+		// "wal" row (the op-level fsync_wait already contains it), and as a
+		// commit-queue-lane span parented to the enqueuing op's span.
+		if fb.obs != nil {
+			pickup := time.Now()
+			tr := fb.obs.Tracer()
+			for _, txn := range group {
+				wait := pickup.Sub(txn.enq)
+				fb.obs.ObservePhaseWAL(obs.PhaseQueueWait, wait)
+				if tr.Enabled() {
+					tr.RecordSpan(obs.LaneQueue, "queue_wait", txn.opSpan, txn.enq, wait, 0, nil)
+				}
+			}
+		}
+
 		err := prevErr
 		if err == nil {
 			err = fb.applyGroup(group)
@@ -358,30 +399,56 @@ func (fb *FileBackend) committer() {
 // applyGroup runs the WAL protocol for a whole group: every transaction's
 // frames and commit record, one fsync, a deduplicated in-place apply, the
 // last transaction's header, and the log reset. Runs only on the committer
-// goroutine — the sole WAL appender while group commit is on.
-func (fb *FileBackend) applyGroup(group []*groupTxn) error {
+// goroutine — the sole WAL appender while group commit is on. Each protocol
+// section is attributed to a "wal"-row phase (frame_write, fsync, apply)
+// and, when tracing, recorded as committer-lane spans under one
+// commit_group span — so a trace shows several op spans resolving against a
+// single fsync span, the coalescing the group committer exists for.
+func (fb *FileBackend) applyGroup(group []*groupTxn) (err error) {
+	inst := fb.obs != nil
+	tr := fb.obs.Tracer()
+	var gsp obs.Span
+	if tr.Enabled() {
+		gsp = tr.StartLane(obs.LaneCommitter, "commit_group", 0)
+		defer func() { gsp.EndCount(len(group), err) }()
+	}
+	section := func(ph obs.Phase, start time.Time) {
+		if !inst {
+			return
+		}
+		d := time.Since(start)
+		fb.obs.ObservePhaseWAL(ph, d)
+		if tr.Enabled() {
+			tr.RecordSpan(obs.LaneCommitter, ph.String(), gsp.ID(), start, d, 0, nil)
+		}
+	}
+
 	// Phase 1: log the group, fsync once.
+	t0 := time.Now()
 	start := fb.walSize
 	logged := 0
 	frames := 0
 	for _, txn := range group {
 		for _, img := range txn.images {
 			frame := encodeWALFrame(img.id, img.data)
-			if _, err := fb.wal.WriteAt(frame, start+int64(logged)); err != nil {
+			if _, err = fb.wal.WriteAt(frame, start+int64(logged)); err != nil {
 				return err
 			}
 			logged += len(frame)
 			frames++
 		}
 		cf := encodeWALCommit(len(txn.images), txn.hdr)
-		if _, err := fb.wal.WriteAt(cf, start+int64(logged)); err != nil {
+		if _, err = fb.wal.WriteAt(cf, start+int64(logged)); err != nil {
 			return err
 		}
 		logged += len(cf)
 	}
-	if err := fb.sync(fb.wal); err != nil {
+	section(obs.PhaseFrameWrite, t0)
+	t0 = time.Now()
+	if err = fb.sync(fb.wal); err != nil {
 		return err
 	}
+	section(obs.PhaseFsync, t0)
 	fb.walSize += int64(logged)
 	fb.statsMu.Lock()
 	fb.stats.Commits += uint64(len(group))
@@ -397,13 +464,15 @@ func (fb *FileBackend) applyGroup(group []*groupTxn) error {
 	// Phase 2: apply in place, newest image per block. Failures past the
 	// fsync leave committed transactions in the WAL; recovery replays them.
 	// applyMu keeps the scrubber's raw reads off blocks mid-overwrite.
+	t0 = time.Now()
+	defer func() { section(obs.PhaseApply, t0) }()
 	merged := make(map[BlockID][]byte, frames)
 	for _, txn := range group {
 		for _, img := range txn.images {
 			merged[img.id] = img.data
 		}
 	}
-	if err := func() error {
+	if err = func() error {
 		fb.applyMu.Lock()
 		defer fb.applyMu.Unlock()
 		for _, img := range sortedImages(merged) {
@@ -436,7 +505,7 @@ func (fb *FileBackend) applyGroup(group []*groupTxn) error {
 	// Phase 3: reset the log. Only the committer appends while group
 	// commit runs, so everything logged is now applied; losing the
 	// truncate to a crash just replays the group — idempotent redo.
-	if err := fb.wal.Truncate(walHeaderSize); err != nil {
+	if err = fb.wal.Truncate(walHeaderSize); err != nil {
 		return err
 	}
 	fb.walSize = walHeaderSize

@@ -39,8 +39,26 @@ func (s *Store) CollectGauges() []obs.GaugeValue {
 			obs.G("pager_wal_group_commits", "Commit groups flushed by the group committer.", float64(st.GroupCommits)),
 			obs.G("pager_wal_group_size", "Mean transactions per flushed commit group.", st.MeanGroupSize()),
 		)
+		if st.Commits > 0 {
+			gs = append(gs, obs.G("pager_wal_syncs_per_commit",
+				"WAL fsyncs per committed transaction (group commit amortizes below 1).",
+				float64(st.Syncs)/float64(st.Commits)))
+		}
+	}
+	if qs, ok := s.backend.(GroupQueueStatser); ok {
+		q := qs.GroupQueueStats()
+		gs = append(gs,
+			obs.G("pager_gc_queue_depth", "Transactions queued or in flight at the group committer.", float64(q.QueueDepth)),
+			obs.G("pager_gc_overlay_blocks", "Committed-but-unapplied block images in the group-commit overlay.", float64(q.OverlayBlocks)),
+		)
 	}
 	return gs
+}
+
+// GroupQueueStatser is implemented by backends running a group committer
+// (FileBackend). Store surfaces the backlog as pager_gc_* gauges.
+type GroupQueueStatser interface {
+	GroupQueueStats() GroupQueueStats
 }
 
 // WALStatser is implemented by backends that track durability I/O

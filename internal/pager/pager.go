@@ -25,6 +25,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"boxes/internal/faults"
 	"boxes/internal/obs"
@@ -139,6 +140,13 @@ type Store struct {
 	shared  bool        // shared read mode enabled (SetShared)
 	writing atomic.Bool // inside a BeginWrite/EndWrite bracket
 	closed  bool
+
+	// Cumulative instrumented phase time (see PhaseStats): every timed
+	// backend section adds its nanoseconds here, so core can compute the
+	// residual "structure" phase of an operation by snapshot difference.
+	phaseRead   atomic.Int64
+	phaseWrite  atomic.Int64
+	phaseCommit atomic.Int64
 
 	// Resilience state (see resilience.go): optional bounded retries of
 	// raw backend calls, the first permanent write-path fault (core's
@@ -265,6 +273,53 @@ func (s *Store) EndWrite() { s.writing.Store(false) }
 // bracket in shared mode and must therefore skip per-op state.
 func (s *Store) readerOp() bool { return s.shared && !s.writing.Load() }
 
+// Shared reports whether the shared read path is enabled (SetShared).
+func (s *Store) Shared() bool { return s.shared }
+
+// PhaseNanos is a snapshot of the store's cumulative instrumented phase
+// time: nanoseconds spent in backend block reads, block writes, and commit
+// calls. Core subtracts two snapshots to attribute an operation's residual
+// (in-memory "structure") time.
+type PhaseNanos struct {
+	Read   int64
+	Write  int64
+	Commit int64
+}
+
+// Total returns the sum of all instrumented phase time.
+func (p PhaseNanos) Total() int64 { return p.Read + p.Write + p.Commit }
+
+// Sub returns the element-wise difference p - q.
+func (p PhaseNanos) Sub(q PhaseNanos) PhaseNanos {
+	return PhaseNanos{Read: p.Read - q.Read, Write: p.Write - q.Write, Commit: p.Commit - q.Commit}
+}
+
+// PhaseStats snapshots the cumulative instrumented phase time. All zeros
+// when no observer is attached (timing is skipped entirely then).
+func (s *Store) PhaseStats() PhaseNanos {
+	return PhaseNanos{Read: s.phaseRead.Load(), Write: s.phaseWrite.Load(), Commit: s.phaseCommit.Load()}
+}
+
+// timedPhase runs one backend call with phase instrumentation: its duration
+// goes into the (current op, ph) histogram, the store's cumulative phase
+// counter, and — when span recording is on — a span on the current
+// operation's lane. Without an observer the call runs bare.
+func (s *Store) timedPhase(ph obs.Phase, acc *atomic.Int64, fn func() error) error {
+	if s.obs == nil {
+		return fn()
+	}
+	reader := s.readerOp()
+	start := time.Now()
+	err := fn()
+	d := time.Since(start)
+	acc.Add(int64(d))
+	s.obs.ObservePhaseAuto(reader, ph, d)
+	if t := s.obs.Tracer(); t.Enabled() {
+		t.RecordAuto(reader, ph.String(), start, d)
+	}
+	return err
+}
+
 // BeginOp starts a logical operation. Until the matching EndOp, each block
 // is fetched from (and counted against) the backend at most once, and dirty
 // blocks are flushed once at EndOp. Calls nest; only the outermost pair
@@ -329,7 +384,9 @@ func (s *Store) EndOp() error {
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		for _, id := range ids {
 			ob := s.op[id]
-			err := s.retryBackend(func() error { return s.backend.WriteBlock(id, ob.data) })
+			err := s.timedPhase(obs.PhaseBlockWrite, &s.phaseWrite, func() error {
+				return s.retryBackend(func() error { return s.backend.WriteBlock(id, ob.data) })
+			})
 			if err != nil {
 				s.countIOError(err)
 				s.NoteWriteFault(err)
@@ -355,14 +412,18 @@ func (s *Store) EndOp() error {
 			// the abort just rolled back on disk.
 			s.InvalidateCache()
 		} else if atx, ok := tx.(AsyncTxBackend); ok && atx.GroupCommitEnabled() {
-			t, err := atx.CommitBatchAsync()
+			var t *CommitTicket
+			err := s.timedPhase(obs.PhaseWALCommit, &s.phaseCommit, func() (e error) {
+				t, e = atx.CommitBatchAsync()
+				return e
+			})
 			if err != nil {
 				s.countIOError(err)
 				s.NoteWriteFault(err)
 				firstErr = err
 			}
 			s.ticket = t
-		} else if err := tx.CommitBatch(); err != nil {
+		} else if err := s.timedPhase(obs.PhaseWALCommit, &s.phaseCommit, tx.CommitBatch); err != nil {
 			s.countIOError(err)
 			s.NoteWriteFault(err)
 			firstErr = err
@@ -514,7 +575,10 @@ func (s *Store) Read(id BlockID) ([]byte, error) {
 		return nil, qerr
 	}
 	buf := make([]byte, s.backend.BlockSize())
-	if err := s.retryBackend(func() error { return s.backend.ReadBlock(id, buf) }); err != nil {
+	err := s.timedPhase(obs.PhaseBlockRead, &s.phaseRead, func() error {
+		return s.retryBackend(func() error { return s.backend.ReadBlock(id, buf) })
+	})
+	if err != nil {
 		s.countIOError(err)
 		return nil, err
 	}
@@ -557,7 +621,10 @@ func (s *Store) Write(id BlockID, buf []byte) error {
 		s.op[id] = &opBlock{data: data, dirty: true}
 		return nil
 	}
-	if err := s.retryBackend(func() error { return s.backend.WriteBlock(id, buf) }); err != nil {
+	err := s.timedPhase(obs.PhaseBlockWrite, &s.phaseWrite, func() error {
+		return s.retryBackend(func() error { return s.backend.WriteBlock(id, buf) })
+	})
+	if err != nil {
 		s.countIOError(err)
 		s.NoteWriteFault(err)
 		return err

@@ -3,6 +3,7 @@ package pager
 import (
 	"errors"
 	"sort"
+	"time"
 
 	"boxes/internal/faults"
 	"boxes/internal/obs"
@@ -15,8 +16,34 @@ import (
 // budget surfaces as a faults.ExhaustedError wrapping the last transient
 // cause. Retries are off by default: fault-injection tests rely on
 // injected errors surfacing verbatim.
+//
+// Backoff sleeps are attributed to the retry_backoff phase of the current
+// operation (and recorded as spans when tracing). They overlap the
+// enclosing block_read/block_write phase by construction — retries happen
+// inside the timed backend call — so retry_backoff quantifies how much of
+// that phase was sleeping rather than doing I/O.
 func WithRetry(p faults.RetryPolicy) Option {
-	return func(s *Store) { s.retry = faults.NewRetrier(p) }
+	return func(s *Store) {
+		inner := p.Sleep
+		if inner == nil {
+			inner = time.Sleep
+		}
+		p.Sleep = func(d time.Duration) {
+			if s.obs == nil {
+				inner(d)
+				return
+			}
+			reader := s.readerOp()
+			start := time.Now()
+			inner(d)
+			el := time.Since(start)
+			s.obs.ObservePhaseAuto(reader, obs.PhaseRetryBackoff, el)
+			if t := s.obs.Tracer(); t.Enabled() {
+				t.RecordAuto(reader, obs.PhaseRetryBackoff.String(), start, el)
+			}
+		}
+		s.retry = faults.NewRetrier(p)
+	}
 }
 
 // RetryEnabled reports whether a retry policy is attached.

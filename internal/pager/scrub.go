@@ -209,6 +209,22 @@ func (sc *Scrubber) Progress() ScrubProgress {
 	return p
 }
 
+// batchSpan opens instrumentation for one scrub batch — the scrub_batch
+// phase ("scrub" row) plus a scrubber-lane span when tracing. The returned
+// func closes both with the number of blocks verified.
+func (sc *Scrubber) batchSpan() func(n int) {
+	reg := sc.st.obs
+	if reg == nil {
+		return func(int) {}
+	}
+	start := time.Now()
+	sp := reg.Tracer().StartLane(obs.LaneScrubber, "scrub_batch", 0)
+	return func(n int) {
+		reg.ObservePhaseScrub(time.Since(start))
+		sp.EndCount(n, nil)
+	}
+}
+
 // scrubBlock verifies one block, quarantining and (optionally) repairing
 // on failure. It runs inside the Guard.
 func (sc *Scrubber) scrubBlock(id BlockID) {
@@ -266,9 +282,13 @@ func (sc *Scrubber) RunPass() (corrupt int, err error) {
 				end = bound
 				done = true // bound reached: this is the last batch
 			}
+			finish := sc.batchSpan()
+			n := 0
 			for ; id < end; id++ {
 				sc.scrubBlock(id)
+				n++
 			}
+			finish(n)
 		})
 	}
 	sc.mu.Lock()
@@ -324,9 +344,13 @@ func (sc *Scrubber) loop() {
 			if end > bound {
 				end = bound
 			}
+			finish := sc.batchSpan()
+			n := 0
 			for ; id < end; id++ {
 				sc.scrubBlock(id)
+				n++
 			}
+			finish(n)
 			sc.mu.Lock()
 			if id >= bound {
 				sc.cursor = 1
