@@ -75,10 +75,10 @@ func checkBound(current bench.SnapshotFile, a boundAssert, floor bool) error {
 		for key, v := range s.Gauges {
 			if key == a.gauge || strings.HasPrefix(key, a.gauge+"{") {
 				if !floor && v > a.bound {
-					return fmt.Errorf("%s %s = %.4g exceeds ceiling %.4g", a.scheme, a.gauge, v, a.bound)
+					return fmt.Errorf("scheme %s metric %s: current %.4g exceeds absolute ceiling %.4g (-max gate)", a.scheme, a.gauge, v, a.bound)
 				}
 				if floor && v < a.bound {
-					return fmt.Errorf("%s %s = %.4g below floor %.4g", a.scheme, a.gauge, v, a.bound)
+					return fmt.Errorf("scheme %s metric %s: current %.4g below absolute floor %.4g (-min gate)", a.scheme, a.gauge, v, a.bound)
 				}
 				return nil
 			}
@@ -135,7 +135,8 @@ func main() {
 	}
 	fmt.Printf("benchdiff: %s: %d regression(s) beyond %.0f%%:\n", current.Experiment, len(regs), *threshold*100)
 	for _, r := range regs {
-		fmt.Printf("  %s\n", r)
+		fmt.Printf("  scheme %-10s metric %-36s baseline %.4g -> current %.4g (%.2fx worse; allowed up to %.4g at threshold +%.0f%%)\n",
+			r.Scheme, r.Metric, r.Old, r.New, r.Ratio, r.Old*(1+*threshold), *threshold*100)
 	}
 	os.Exit(1)
 }

@@ -45,6 +45,7 @@ func main() {
 	metrics := flag.Bool("metrics", true, "print the store's metrics snapshot (per-phase I/O, check duration, structural counters)")
 	health := flag.Bool("health", false, "walk the structure and print its health gauges (height, occupancy, balance slack, fragmentation)")
 	crash := flag.String("crash", "", "pretty-print a flight-recorder crash dump instead of opening a store")
+	ledger := flag.Bool("ledger", false, "print the amortized-cost ledger accumulated by the ops this inspection ran")
 	flag.Var(&lids, "lid", "resolve this LID to its current label (repeatable)")
 	flag.Parse()
 
@@ -132,6 +133,17 @@ func main() {
 		}
 		if ctrs := snap.FormatCounters(); ctrs != "" {
 			fmt.Printf("  events : %s\n", ctrs)
+		}
+	}
+
+	if *ledger {
+		// The ledger attributes every block I/O and structural event of the
+		// ops boxinspect itself just ran (open, check, lookups) to the
+		// (scheme, op) that caused it — a cheap way to see the read cost of
+		// a verification pass, and to confirm conservation on a real store.
+		fmt.Println("ledger  :")
+		for _, line := range strings.Split(strings.TrimRight(obs.FormatLedger(st.MetricsRegistry()), "\n"), "\n") {
+			fmt.Printf("  %s\n", line)
 		}
 	}
 }

@@ -42,6 +42,10 @@ func (l *Labeler) insertAt(lidNew, lidOld order.LID) error {
 			hi, _ := l.packSteps(steps)
 			shiftLo, shiftHi = lo, hi
 			logShift = true
+			// B-BOX labels are implicit path vectors; the packed label is
+			// only materialized on this reflog path, so the heat map
+			// samples here rather than paying a root walk per insert.
+			l.store.Observer().HeatLabelInsert(lo)
 		}
 	}
 	if l.p.Ordinal && l.ologger != nil {

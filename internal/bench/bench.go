@@ -173,9 +173,10 @@ type Recorder struct {
 	store *pager.Store
 	Skip  int // operations to exclude (the XMark priming prefix)
 
-	reg    *obs.Registry
-	scheme string
-	op     obs.Op
+	reg       *obs.Registry
+	scheme    string
+	schemeIdx int // the scheme's ledger row in reg
+	op        obs.Op
 
 	seen     int
 	costs    []uint32
@@ -191,6 +192,7 @@ func NewRecorder(store *pager.Store) *Recorder { return &Recorder{store: store} 
 // op (typically OpInsert for the update workloads). Returns r for chaining.
 func (r *Recorder) Observe(reg *obs.Registry, scheme string, op obs.Op) *Recorder {
 	r.reg, r.scheme, r.op = reg, scheme, op
+	r.schemeIdx = reg.SchemeIndex(scheme)
 	return r
 }
 
@@ -204,7 +206,7 @@ func (r *Recorder) Observe(reg *obs.Registry, scheme string, op obs.Op) *Recorde
 func (r *Recorder) Do(op func() error) error {
 	before := r.store.Stats()
 	ctx := r.reg.Begin(r.scheme, r.op, before.Reads, before.Writes)
-	r.reg.SetWriterOp(r.op)
+	r.reg.SetWriterCell(r.schemeIdx, r.op)
 	phBefore := r.store.PhaseStats()
 	start := time.Now()
 	err := op()
@@ -238,7 +240,7 @@ func (r *Recorder) Do(op func() error) error {
 func (r *Recorder) Bracket(op obs.Op, fn func() error) error {
 	before := r.store.Stats()
 	ctx := r.reg.Begin(r.scheme, op, before.Reads, before.Writes)
-	r.reg.SetWriterOp(op)
+	r.reg.SetWriterCell(r.schemeIdx, op)
 	phBefore := r.store.PhaseStats()
 	start := time.Now()
 	err := fn()

@@ -128,8 +128,16 @@ func RunUpdateWorkload(cfg Config, specs []SchemeSpec, workload func(order.Label
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", spec.Name, err)
 		}
-		cfg.attach(spec.Name, store)
-		rec := NewRecorder(store).Observe(cfg.Metrics, spec.Name, obs.OpInsert)
+		// Each scheme gets its own registry unless the caller aggregates
+		// into a shared one (-metrics): the cost ledger and heat maps are
+		// per-registry, and a private registry keeps every scheme's
+		// amortized ratios cleanly separated in the snapshot.
+		sc := cfg
+		if sc.Metrics == nil {
+			sc.Metrics = obs.NewRegistry()
+		}
+		sc.attach(spec.Name, store)
+		rec := NewRecorder(store).Observe(sc.Metrics, spec.Name, obs.OpInsert)
 		if err := workload(l, rec); err != nil {
 			return nil, fmt.Errorf("%s: %w", spec.Name, err)
 		}
@@ -153,6 +161,9 @@ func RunUpdateWorkload(cfg Config, specs []SchemeSpec, workload func(order.Label
 		if c, ok := l.(obs.Collector); ok {
 			run.Gauges = obs.WithLabel(c.CollectGauges(), "scheme", spec.Name)
 		}
+		// Final amortized ratios from the cost ledger (scheme label is
+		// already attached), so benchdiff can gate the paper's bounds.
+		run.Gauges = append(run.Gauges, sc.Metrics.AmortizedGauges(spec.Name)...)
 		out = append(out, run)
 	}
 	return out, nil

@@ -159,6 +159,7 @@ type Store struct {
 	cache      *reflog.Cache
 	reg        *obs.Registry
 	schemeName string
+	schemeIdx  int // this scheme's ledger row in reg
 	flight     *obs.FlightRecorder
 
 	// deferred makes mutators return before their group-commit ticket
@@ -285,6 +286,7 @@ func Open(opts Options) (*Store, error) {
 	}
 
 	s := &Store{opts: opts, store: store, labeler: labeler, reg: reg, schemeName: opts.Scheme.String(), flight: flight}
+	s.schemeIdx = reg.SchemeIndex(s.schemeName)
 	if opts.Caching != CachingOff {
 		k := 0
 		if opts.Caching == CachingLogged {
@@ -339,6 +341,28 @@ func (s *Store) MetricsRegistry() *obs.Registry { return s.reg }
 // the structural counters.
 func (s *Store) Metrics() obs.Snapshot { return s.reg.Snapshot() }
 
+// CheckLedger verifies the cost-ledger conservation invariant against this
+// store's registry: per-(scheme, op) attributions must sum to the global
+// kind totals, which must agree with the structural counters. With
+// strict=true (valid only at quiescence — no operation in flight) it
+// additionally cross-checks the ledger's block I/O totals against the
+// pager's own counters, which holds as long as ResetStats was never called
+// and no other store shares the registry.
+func (s *Store) CheckLedger(strict bool) error {
+	if err := s.reg.CheckLedger(strict); err != nil {
+		return err
+	}
+	if strict {
+		lr, lw := s.reg.LedgerIO()
+		st := s.store.Stats()
+		if lr != st.Reads || lw != st.Writes {
+			return fmt.Errorf("core: ledger I/O (%d reads, %d writes) != pager I/O (%d reads, %d writes)",
+				lr, lw, st.Reads, st.Writes)
+		}
+	}
+	return nil
+}
+
 // opMeasure carries one in-flight operation's measurement state between
 // begin and end: the registry context, the pager phase-counter snapshot
 // (for the residual "structure" phase), and the root span when tracing.
@@ -362,7 +386,7 @@ func (s *Store) begin(op obs.Op) opMeasure {
 	st := s.store.Stats()
 	m := opMeasure{op: op, excl: op != obs.OpLookup || !s.store.Shared()}
 	if m.excl {
-		s.reg.SetWriterOp(op)
+		s.reg.SetWriterCell(s.schemeIdx, op)
 		if w := s.pendingLockWait; w != 0 {
 			s.pendingLockWait = 0
 			s.reg.ObservePhase(op, obs.PhaseLockWaitWrite, time.Duration(w))

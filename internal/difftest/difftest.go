@@ -386,6 +386,13 @@ func (e *Engine) verify() error {
 		if err := w.oracle.CheckAgainst(w.st.Labeler(), w.ordinal); err != nil {
 			return fmt.Errorf("%s diverged from oracle: %w", w.name, err)
 		}
+		// Each world owns a private registry and runs single-threaded, so
+		// the cost ledger must balance exactly after every operation:
+		// structural counters == attributed cells == global totals, and the
+		// ledger's I/O kinds == the pager's own read/write counters.
+		if err := w.st.CheckLedger(true); err != nil {
+			return fmt.Errorf("%s: cost-ledger conservation: %w", w.name, err)
+		}
 		if i == 0 {
 			count = w.st.Count()
 		} else if got := w.st.Count(); got != count {

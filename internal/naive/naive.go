@@ -213,6 +213,10 @@ func encodeShifted(buf []byte, v uint64, k int) {
 func (l *Labeler) relabelAll() error {
 	l.relabels++
 	l.store.Observer().Inc(obs.CtrNaiveRelabels)
+	// Every live record gets rewritten; charging them all is exactly what
+	// makes the naive scheme's amortized relabels-per-insert ratio grow
+	// with N while the BOX schemes stay bounded.
+	l.store.Observer().CostRelabeled(uint64(len(l.dir)))
 	if uint64(len(l.dir)) > (uint64(1) << uint(l.cfg.CapacityBits)) {
 		return order.ErrLabelOverflow
 	}
@@ -264,6 +268,9 @@ func (l *Labeler) InsertBefore(lidOld order.LID) (_ order.LID, err error) {
 	}
 	if err := l.putRecord(lidOld, oldLabel, half); err != nil {
 		return order.NilLID, err
+	}
+	if newLabel.IsUint64() {
+		l.store.Observer().HeatLabelInsert(newLabel.Uint64())
 	}
 	return lidNew, nil
 }
@@ -435,6 +442,9 @@ func (l *Labeler) InsertSubtreeBefore(lidOld order.LID, tags []order.Tag) (_ []o
 		g := new(big.Int).Sub(lab, lastLabel)
 		if err := l.putRecord(lid, lab, g); err != nil {
 			return nil, err
+		}
+		if lab.IsUint64() {
+			l.store.Observer().HeatLabelInsert(lab.Uint64())
 		}
 		lastLabel.Set(lab)
 	}

@@ -334,6 +334,23 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 		cw.printf("# TYPE %s counter\n%s %d\n", name, name, total)
 	}
 
+	// The amortized-cost ledger: every structural event and block I/O
+	// attributed to the (scheme, op) that caused it. Only nonzero cells are
+	// emitted; the conservation invariant ties their sums to the structural
+	// counters above.
+	if cells := r.LedgerCells(); len(cells) > 0 {
+		cw.printf("# HELP boxes_cost_total Structural and I/O cost attributed to the causing (scheme, op).\n# TYPE boxes_cost_total counter\n")
+		for _, c := range cells {
+			cw.printf("boxes_cost_total{scheme=\"%s\",op=\"%s\",kind=\"%s\"} %d\n",
+				escapeLabel(c.Scheme), escapeLabel(c.Op), escapeLabel(c.Kind), c.Value)
+		}
+		cw.printf("# HELP boxes_cost_ops_total Completed operations per ledger (scheme, op) row.\n# TYPE boxes_cost_ops_total counter\n")
+		for _, oc := range r.LedgerOpCounts() {
+			cw.printf("boxes_cost_ops_total{scheme=\"%s\",op=\"%s\"} %d\n",
+				escapeLabel(oc.Scheme), escapeLabel(oc.Op), oc.Count)
+		}
+	}
+
 	// Scrape-time structural gauges: every registered collector walks its
 	// structure now, and samples sharing a family are grouped under a
 	// single # TYPE line regardless of which scheme reported them.

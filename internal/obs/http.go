@@ -10,8 +10,8 @@ import (
 // Handler returns an http.Handler exposing the registry at /metrics in
 // Prometheus text format, a JSON latency-attribution summary at
 // /debug/spans (per-op and per-phase p50/p99 plus captured slow ops — what
-// cmd/boxtop renders), plus the standard net/http/pprof profiling
-// endpoints under /debug/pprof/.
+// cmd/boxtop renders), the cost ledger and heat maps at /debug/heat, plus
+// the standard net/http/pprof profiling endpoints under /debug/pprof/.
 func Handler(r *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -21,6 +21,10 @@ func Handler(r *Registry) http.Handler {
 	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(r.SpansDebug())
+	})
+	mux.HandleFunc("/debug/heat", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(r.HeatDebug())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

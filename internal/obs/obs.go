@@ -282,13 +282,34 @@ type Registry struct {
 	ops       [numOps]opSeries
 	lockWaits [numLockKinds]hist
 	phases    [numPhaseRows][numPhases]hist
-	writerOp  atomic.Int32 // current exclusive-section op + 1; 0 = none
+	writerOp  atomic.Int32 // packed current exclusive-section cell; see SetWriterCell
 	tracer    *Tracer
 	hooks     atomic.Pointer[[]TraceHook]
 
-	mu         sync.Mutex
-	schemes    []string    // scheme names of the stores reporting here
-	collectors []Collector // scrape-time gauge sources (RegisterCollector)
+	// Amortized-cost ledger (ledger.go): per-(scheme, op, kind) attribution
+	// cells, per-kind global totals, per-(scheme, op) completed-op counts,
+	// and the sliding amortization window.
+	ledgerCells    [maxLedgerSchemes][numOps][numCostKinds]atomic.Uint64
+	ledgerTotals   [numCostKinds]atomic.Uint64
+	ledgerOps      [maxLedgerSchemes][numOps]atomic.Uint64
+	ledgerOpsTotal atomic.Uint64
+	ledgerIdx      atomic.Pointer[map[string]int] // scheme name -> ledger row
+
+	winMu       sync.Mutex
+	winStart    ledgerWindowSnap // ledger state at current window start
+	winStartOps uint64
+	winLast     ledgerWindowSnap // delta of the last completed window
+	winLastOps  uint64
+
+	// Heat maps (heat.go): insertion/reflog density over the label key
+	// space and read/write heat over block ids.
+	heatLabel heatSpace
+	heatBlock heatSpace
+
+	mu          sync.Mutex
+	schemes     []string    // scheme names of the stores reporting here
+	ledgerNames []string    // interned ledger row names, in row order
+	collectors  []Collector // scrape-time gauge sources (RegisterCollector)
 }
 
 // NewRegistry creates an empty registry.
@@ -308,6 +329,14 @@ func NewRegistry() *Registry {
 		}
 	}
 	r.tracer = newTracer()
+	r.heatLabel.initHeat("label", labelSeriesNames[:])
+	r.heatBlock.initHeat("block", blockSeriesNames[:])
+	r.RegisterCollector(CollectorFunc(func() []GaugeValue {
+		out := r.amortizedGaugesAll()
+		out = append(out, r.heatLabel.heatGauges()...)
+		out = append(out, r.heatBlock.heatGauges()...)
+		return out
+	}))
 	return r
 }
 
@@ -332,13 +361,20 @@ func (r *Registry) SetScheme(name string) {
 		return
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	seen := false
 	for _, s := range r.schemes {
 		if s == name {
-			return
+			seen = true
+			break
 		}
 	}
-	r.schemes = append(r.schemes, name)
+	if !seen {
+		r.schemes = append(r.schemes, name)
+	}
+	r.mu.Unlock()
+	// Intern the scheme into the ledger too, so the store's own scheme
+	// claims row 0 before any operation runs.
+	r.SchemeIndex(name)
 }
 
 // Schemes returns the scheme names recorded via SetScheme.
@@ -372,20 +408,29 @@ func (r *Registry) AddHook(h TraceHook) {
 	r.hooks.Store(&next)
 }
 
-// Inc adds one to a structural counter.
+// Inc adds one to a structural counter and, for ledger-mapped counters,
+// attributes the event to the current writer cell (counter first, then
+// cell, then total — the order the conservation invariant relies on).
 func (r *Registry) Inc(c Counter) {
 	if r == nil {
 		return
 	}
 	r.counters[c].Add(1)
+	if k := counterCost[c]; k >= 0 {
+		r.costAdd(CostKind(k), 1)
+	}
 }
 
-// Add adds n to a structural counter.
+// Add adds n to a structural counter, with the same ledger attribution as
+// Inc.
 func (r *Registry) Add(c Counter, n uint64) {
 	if r == nil {
 		return
 	}
 	r.counters[c].Add(n)
+	if k := counterCost[c]; k >= 0 {
+		r.costAdd(CostKind(k), n)
+	}
 }
 
 // Counter reads a structural counter.
@@ -408,12 +453,13 @@ func (r *Registry) OpCount(op Op) uint64 {
 // End. It is passed by value and never escapes, keeping the fast path
 // allocation-free.
 type OpCtx struct {
-	scheme string
-	op     Op
-	start  time.Time
-	reads  uint64
-	writes uint64
-	active bool
+	scheme    string
+	schemeIdx int // ledger row of scheme
+	op        Op
+	start     time.Time
+	reads     uint64
+	writes    uint64
+	active    bool
 }
 
 // Begin opens a per-operation measurement: reads/writes are the pager's
@@ -423,7 +469,7 @@ func (r *Registry) Begin(scheme string, op Op, reads, writes uint64) OpCtx {
 	if r == nil {
 		return OpCtx{}
 	}
-	c := OpCtx{scheme: scheme, op: op, start: time.Now(), reads: reads, writes: writes, active: true}
+	c := OpCtx{scheme: scheme, schemeIdx: r.SchemeIndex(scheme), op: op, start: time.Now(), reads: reads, writes: writes, active: true}
 	if hooks := r.hooks.Load(); hooks != nil {
 		for _, h := range *hooks {
 			h.OpStart(scheme, op)
@@ -449,6 +495,7 @@ func (r *Registry) End(c OpCtx, reads, writes uint64, err error) time.Duration {
 	dw := satSub(writes, c.writes)
 	s := &r.ops[c.op]
 	s.count.Add(1)
+	r.noteLedgerOp(c.schemeIdx, c.op)
 	if err != nil {
 		s.errors.Add(1)
 	}

@@ -186,23 +186,42 @@ func (r *Registry) ObservePhaseAuto(reader bool, ph Phase, d time.Duration) {
 	r.ObservePhase(r.WriterOp(), ph, d)
 }
 
-// SetWriterOp installs op as the current exclusive-section operation. Core
-// calls it at op begin for every operation that runs exclusively (all
+// SetWriterCell installs (scheme row, op) as the current exclusive-section
+// cell, packed into one atomic word: (scheme << 8) | (op + 1), 0 = none.
+// Core calls it at op begin for every operation that runs exclusively (all
 // mutators, and every op when the pager is not in shared mode); concurrent
-// shared-mode readers never touch the slot.
-func (r *Registry) SetWriterOp(op Op) {
+// shared-mode readers never touch the slot. The ledger and the phase
+// histograms both resolve attribution through it.
+func (r *Registry) SetWriterCell(scheme int, op Op) {
 	if r == nil {
 		return
 	}
-	r.writerOp.Store(int32(op) + 1)
+	if scheme < 0 || scheme >= maxLedgerSchemes {
+		scheme = maxLedgerSchemes - 1
+	}
+	r.writerOp.Store(int32(scheme)<<8 | (int32(op) + 1))
 }
 
-// ClearWriterOp clears the slot installed by SetWriterOp.
+// SetWriterOp installs op on scheme row 0 — the single-store registry
+// shorthand (the store's own scheme claims row 0 at SetScheme time).
+func (r *Registry) SetWriterOp(op Op) { r.SetWriterCell(0, op) }
+
+// ClearWriterOp clears the slot installed by SetWriterCell/SetWriterOp.
 func (r *Registry) ClearWriterOp() {
 	if r == nil {
 		return
 	}
 	r.writerOp.Store(0)
+}
+
+// writerCell decodes the packed slot: (row 0, OpLookup) when none is
+// installed — exact for shared-mode readers, which are statically lookups.
+func (r *Registry) writerCell() (int, Op) {
+	v := r.writerOp.Load()
+	if v <= 0 {
+		return 0, OpLookup
+	}
+	return int(v >> 8), Op(v&0xff) - 1
 }
 
 // WriterOp returns the current exclusive-section operation, or OpLookup
@@ -211,10 +230,8 @@ func (r *Registry) WriterOp() Op {
 	if r == nil {
 		return OpLookup
 	}
-	if v := r.writerOp.Load(); v > 0 {
-		return Op(v - 1)
-	}
-	return OpLookup
+	_, op := r.writerCell()
+	return op
 }
 
 // Tracer returns the registry's span tracer (nil for a nil registry; all

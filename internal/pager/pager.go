@@ -247,8 +247,20 @@ func (s *Store) ResetStats() {
 	s.writes.Store(0)
 }
 
-func (s *Store) countRead()  { s.reads.Add(1) }
-func (s *Store) countWrite() { s.writes.Add(1) }
+// countRead/countWrite bump the store's I/O counters and feed the cost
+// ledger and block heat map: the I/O is attributed to the operation in the
+// registry's writer slot (or the lookup row on the shared read path) and
+// sampled at its block id. Counter first, ledger second — the order the
+// conservation invariant relies on.
+func (s *Store) countRead(id BlockID) {
+	s.reads.Add(1)
+	s.obs.CostIO(s.readerOp(), false, uint64(id))
+}
+
+func (s *Store) countWrite(id BlockID) {
+	s.writes.Add(1)
+	s.obs.CostIO(s.readerOp(), true, uint64(id))
+}
 
 // SetShared enables (or disables) the shared read path. When on, BeginOp,
 // EndOp and AbortOp called outside a BeginWrite/EndWrite bracket are
@@ -395,7 +407,7 @@ func (s *Store) EndOp() error {
 				}
 				continue
 			}
-			s.countWrite()
+			s.countWrite(id)
 			s.liftQuarantine(id)
 			if s.cache != nil {
 				s.cache.put(id, ob.data)
@@ -582,7 +594,7 @@ func (s *Store) Read(id BlockID) ([]byte, error) {
 		s.countIOError(err)
 		return nil, err
 	}
-	s.countRead()
+	s.countRead(id)
 	if s.opDepth > 0 {
 		s.op[id] = &opBlock{data: buf}
 	} else if s.cache != nil {
@@ -629,7 +641,7 @@ func (s *Store) Write(id BlockID, buf []byte) error {
 		s.NoteWriteFault(err)
 		return err
 	}
-	s.countWrite()
+	s.countWrite(id)
 	s.liftQuarantine(id)
 	if s.cache != nil {
 		s.cache.put(id, buf)

@@ -196,6 +196,7 @@ func (c *Cache) Lookup(ref *Ref) (order.Label, Outcome, error) {
 	if ref.LastCached > 0 && ref.LastCached >= c.log.LastModified() {
 		c.Fresh++
 		c.obs.Inc(obs.CtrReflogHits)
+		c.obs.HeatReflog(obs.ReflogHit, uint64(ref.Cached))
 		return ref.Cached, HitFresh, nil
 	}
 	if ref.LastCached > 0 && c.log.replayableFrom(ref.LastCached) {
@@ -220,6 +221,7 @@ func (c *Cache) Lookup(ref *Ref) (order.Label, Outcome, error) {
 			ref.LastCached = c.log.Now()
 			c.Replayed++
 			c.obs.Inc(obs.CtrReflogRepairs)
+			c.obs.HeatReflog(obs.ReflogRepair, uint64(v))
 			return v, HitReplayed, nil
 		}
 	}
@@ -231,6 +233,7 @@ func (c *Cache) Lookup(ref *Ref) (order.Label, Outcome, error) {
 	ref.LastCached = c.log.Now()
 	c.Misses++
 	c.obs.Inc(obs.CtrReflogMisses)
+	c.obs.HeatReflog(obs.ReflogMiss, uint64(v))
 	return v, Miss, nil
 }
 

@@ -86,6 +86,7 @@ func (l *Labeler) insertOne(newLID, lidOld order.LID, rec record) error {
 		return err
 	}
 	l.logShift(leaf.lo+uint64(j), oldLast, +1)
+	l.store.Observer().HeatLabelInsert(leaf.lo + uint64(j))
 	if l.p.Variant == PairOptimized {
 		// Shifted end records moved up by one label; repair the cached
 		// copies held by their start partners. Partners outside this
@@ -157,6 +158,7 @@ func (l *Labeler) insertReclaim(newLID order.LID, rec record, leaf *node, j, t i
 	if err := l.file.SetU64(newLID, uint64(leaf.blk)); err != nil {
 		return err
 	}
+	l.store.Observer().HeatLabelInsert(leaf.lo + uint64(insertAt))
 	if shiftDelta != 0 {
 		l.logShift(shiftLo, shiftHi, shiftDelta)
 	}
@@ -510,6 +512,9 @@ func (l *Labeler) relabelSubtree(n *node, newLo uint64, fixes *[]endFix) error {
 				*fixes = append(*fixes, endFix{blk: r.partnerBlk, startLID: r.partnerLID, newEnd: newLo + uint64(i)})
 			}
 		}
+		// Charge the records this sweep actually rewrote to the cost
+		// ledger — the quantity the O(w(n)/B) amortization is about.
+		l.store.Observer().CostRelabeled(uint64(len(n.recs)))
 		return l.writeNode(n)
 	}
 	childLen, ok := l.p.rangeLen(int(n.level) - 1)
