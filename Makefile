@@ -6,7 +6,7 @@ GO ?= go
 # parameters.
 BENCH_FLAGS := -base 2000 -inserts 500 -xmark 1000 -xprime 200
 
-.PHONY: all build test race lint bench bench-diff bench-baseline microbench check crash-matrix scrub-matrix fsck fuzz-smoke trace-smoke heat-smoke experiments experiments-paper-scale clean
+.PHONY: all build test race lint bench bench-diff bench-baseline microbench check crash-matrix scrub-matrix fsck fuzz-smoke sim-smoke sim-seeds trace-smoke heat-smoke experiments experiments-paper-scale clean
 
 all: build test
 
@@ -40,6 +40,28 @@ race:
 # into testdata/fuzz/ that should be committed as a regression.
 fuzz-smoke:
 	$(GO) test ./internal/difftest -fuzz=FuzzOps -fuzztime=2m
+
+# Deterministic-simulation smoke gate: the fixed-seed battery (every
+# scheme x the balanced and delete-heavy mixes x seeds 1..3) under
+# composed fault schedules — crashes, torn writes, ENOSPC, fsync
+# failures, transient flakes, crashes during WAL redo — plus the
+# known-bug regression (the re-introduced tombstone-stranded W-BOX tree
+# must be found, minimized and replayed byte-identically) and the
+# seed-replay determinism tests. Failures drop replayable artifacts
+# under boxsim-out/.
+sim-smoke:
+	$(GO) test ./internal/sim -count=1 -v
+	$(GO) run ./cmd/boxsim -smoke -out boxsim-out
+
+# Randomized-seed soak: fresh base seed each run (the clock), every
+# scheme, every mix. boxsim prints each seed BEFORE running it, so a
+# red run is replayable byte-identically from the log with
+# `go run ./cmd/boxsim -seed N -scheme S -mix M`; failing histories are
+# additionally minimized into boxsim-out/.
+SIM_SEEDS ?= 4
+sim-seeds:
+	$(GO) run ./cmd/boxsim -seeds $(SIM_SEEDS) -seed-base $$(date +%s) \
+		-scheme all -mix all -ops 250 -out boxsim-out
 
 # The crash-point sweep: every scheme, every raw write point of a scripted
 # durable workload, full cuts and torn writes, plus the corruption

@@ -1,0 +1,203 @@
+// Command boxsim runs the deterministic simulation harness: randomized
+// operation histories with composed disk faults (crashes, torn writes,
+// ENOSPC, fsync failures, transient flakes, crashes during WAL redo)
+// against any labeling scheme, checked against an in-memory oracle after
+// every recovery. Every history is a pure function of its seed, so every
+// failure replays byte-identically from the seed boxsim prints.
+//
+//	boxsim -smoke                          the fixed-seed CI gate (all schemes)
+//	boxsim -seeds 50 -scheme wbox          50 randomized-base seeds, one scheme
+//	boxsim -seed 1337 -scheme bbox -mix churn -ops 500
+//	boxsim -replay out/seed7-wbox-churn/minimized.json
+//
+// On failure boxsim minimizes the history (unless -minimize=false) and
+// writes replayable artifacts under -out: trace.json (the full failing
+// trace), minimized.json (the shrunk one) and report.json. Exit status:
+// 0 all histories passed, 1 at least one failed, 2 bad usage or setup.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"boxes/internal/difftest"
+	"boxes/internal/sim"
+	"boxes/internal/wbox"
+)
+
+func main() {
+	// Harness self-test: re-introduce the PR-4 W-BOX tombstone-strand bug
+	// so CI can prove the full find -> minimize -> artifact -> replay path
+	// end to end through this binary (see internal/wbox/testhooks.go).
+	if os.Getenv("BOXSIM_TESTHOOK_STRAND") == "1" {
+		wbox.HookStrandEmptyTree = true
+	}
+	var (
+		seed     = flag.Int64("seed", -1, "run exactly this seed")
+		seeds    = flag.Int("seeds", 0, "run seeds base..base+n-1 (see -seed-base)")
+		seedBase = flag.Int64("seed-base", 1, "first seed for -seeds")
+		smoke    = flag.Bool("smoke", false, "fixed-seed smoke gate: all schemes, mixed+churn, seeds 1..3")
+		scheme   = flag.String("scheme", "wbox", "scheme under test (or 'all')")
+		mix      = flag.String("mix", "mixed", "operation mix: mixed, churn, adv-front, adv-bisect (or 'all')")
+		ops      = flag.Int("ops", 300, "operations per history")
+		rate     = flag.Float64("fault-rate", 0.08, "fault events per op slot")
+		verify   = flag.Int("verify-every", 64, "full oracle check every n committed ops")
+		minimize = flag.Bool("minimize", true, "shrink failing histories before reporting")
+		budget   = flag.Int("minimize-budget", sim.DefaultMinimizeBudget, "max histories the minimizer may run")
+		out      = flag.String("out", "boxsim-out", "artifact directory for failures")
+		replay   = flag.String("replay", "", "replay a trace.json artifact instead of generating histories")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		os.Exit(replayTrace(*replay))
+	}
+
+	var schemes []string
+	if *scheme == "all" {
+		for _, c := range difftest.Configs() {
+			schemes = append(schemes, c.Name)
+		}
+	} else {
+		schemes = []string{*scheme}
+	}
+	mixes := []string{*mix}
+	if *mix == "all" {
+		mixes = sim.Mixes()
+	}
+
+	var cfgs []sim.Config
+	switch {
+	case *smoke:
+		cfgs = smokeConfigs()
+	case *seed >= 0:
+		for _, s := range schemes {
+			for _, m := range mixes {
+				cfgs = append(cfgs, sim.Config{Seed: *seed, Scheme: s, Mix: m, Ops: *ops, FaultRate: *rate, VerifyEvery: *verify})
+			}
+		}
+	case *seeds > 0:
+		for i := 0; i < *seeds; i++ {
+			for _, s := range schemes {
+				for _, m := range mixes {
+					cfgs = append(cfgs, sim.Config{Seed: *seedBase + int64(i), Scheme: s, Mix: m, Ops: *ops, FaultRate: *rate, VerifyEvery: *verify})
+				}
+			}
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "boxsim: one of -smoke, -seed, -seeds or -replay is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	failures := 0
+	for _, cfg := range cfgs {
+		// Print the seed BEFORE running: a hung or crashed-out history
+		// must still be reproducible from the log.
+		fmt.Printf("boxsim: seed=%d scheme=%s mix=%s ops=%d fault-rate=%g\n",
+			cfg.Seed, cfg.Scheme, cfg.Mix, cfg.Ops, cfg.FaultRate)
+		if !runOne(cfg, *minimize, *budget, *out) {
+			failures++
+		}
+	}
+	fmt.Printf("boxsim: %d histories, %d failed\n", len(cfgs), failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// smokeConfigs mirrors internal/sim's TestSimSmoke: fixed seeds, every
+// scheme, the balanced and delete-heavy mixes.
+func smokeConfigs() []sim.Config {
+	var cfgs []sim.Config
+	for _, c := range difftest.Configs() {
+		for _, m := range []string{sim.MixMixed, sim.MixChurn} {
+			for s := int64(1); s <= 3; s++ {
+				cfgs = append(cfgs, sim.Config{Seed: s, Scheme: c.Name, Mix: m, Ops: 150, FaultRate: 0.08})
+			}
+		}
+	}
+	return cfgs
+}
+
+func runOne(cfg sim.Config, minimize bool, budget int, out string) bool {
+	rep, err := sim.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "boxsim: setup: %v\n", err)
+		os.Exit(2)
+	}
+	if rep.Failure == nil {
+		fmt.Printf("  ok: ops=%d restarts=%d redo-crashes=%d aborts=%d faults=%d digest=%.16s\n",
+			rep.Stats.Ops, rep.Stats.Restarts, rep.Stats.RedoCrashes, rep.Stats.Aborts, rep.Stats.Faults, rep.ExecDigest)
+		return true
+	}
+	fmt.Printf("  FAIL: %v\n", rep.Failure)
+	fmt.Printf("  replay with: boxsim -seed %d -scheme %s -mix %s -ops %d -fault-rate %g\n",
+		cfg.Seed, cfg.Scheme, cfg.Mix, cfg.Ops, cfg.FaultRate)
+
+	dir := filepath.Join(out, fmt.Sprintf("seed%d-%s-%s", cfg.Seed, cfg.Scheme, cfg.Mix))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "boxsim: artifacts: %v\n", err)
+		return false
+	}
+	// Flight-recorder dumps from the failing store land next to the traces.
+	cfg.ArtifactDir = dir
+	trace, err := sim.GenTrace(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "boxsim: %v\n", err)
+		return false
+	}
+	writeJSON(filepath.Join(dir, "report.json"), rep)
+	if err := sim.SaveTrace(filepath.Join(dir, "trace.json"), cfg, trace); err != nil {
+		fmt.Fprintf(os.Stderr, "boxsim: artifacts: %v\n", err)
+	}
+	if minimize {
+		mres, err := sim.Minimize(cfg, trace, rep.Failure, budget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "boxsim: minimize: %v\n", err)
+		} else if mres.Report.Failure != nil {
+			fmt.Printf("  minimized: %d -> %d events in %d runs: %v\n",
+				len(trace), len(mres.Events), mres.Runs, mres.Report.Failure)
+			if err := sim.SaveTrace(filepath.Join(dir, "minimized.json"), cfg, mres.Events); err != nil {
+				fmt.Fprintf(os.Stderr, "boxsim: artifacts: %v\n", err)
+			}
+			writeJSON(filepath.Join(dir, "minimized-report.json"), mres.Report)
+		}
+	}
+	fmt.Printf("  artifacts: %s\n", dir)
+	return false
+}
+
+func replayTrace(path string) int {
+	cfg, trace, err := sim.LoadTrace(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "boxsim: %v\n", err)
+		return 2
+	}
+	fmt.Printf("boxsim: replaying %s (seed=%d scheme=%s mix=%s, %d events)\n",
+		path, cfg.Seed, cfg.Scheme, cfg.Mix, len(trace))
+	rep, err := sim.RunTrace(cfg, trace)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "boxsim: %v\n", err)
+		return 2
+	}
+	if rep.Failure != nil {
+		fmt.Printf("  FAIL: %v\n  exec digest: %s\n", rep.Failure, rep.ExecDigest)
+		return 1
+	}
+	fmt.Printf("  ok: ops=%d restarts=%d digest=%.16s\n", rep.Stats.Ops, rep.Stats.Restarts, rep.ExecDigest)
+	return 0
+}
+
+func writeJSON(path string, v any) {
+	data, err := json.MarshalIndent(v, "", " ")
+	if err == nil {
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "boxsim: artifacts: %v\n", err)
+	}
+}

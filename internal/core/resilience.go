@@ -55,18 +55,70 @@ func (s *Store) readOnlyErr() error {
 	return nil
 }
 
-// noteFaults inspects the pager's write-fault latch — and the operation's
-// own error for write-path corruption — after a mutation, entering degraded
-// mode on the first permanent fault. It must run in the writer's exclusive
-// section (it rolls the labeler back to committed state).
+// poisoner is the backend facet reporting a poisoned commit path (see
+// pager.FileBackend.Poisoned / pager.ErrPoisoned).
+type poisoner interface{ Poisoned() error }
+
+// noteFaults inspects the pager's write-fault latch, the backend's poison
+// state, and the operation's own error after a mutation, and applies the
+// failure-semantics contract (DESIGN.md §13):
+//
+//   - permanent write fault → read-only degraded mode, labeler rolled
+//     back to the committed metadata;
+//   - poisoned backend (failed fsync, or a post-durability-point commit
+//     failure) → degraded mode WITHOUT the metadata rollback: the
+//     poisoned transaction's commit record may be (or is) durable in the
+//     WAL, so the in-memory state matching it is the best available view
+//     and a rollback would re-read meta blocks the apply never wrote;
+//     reopening the store resolves the ambiguity from the log;
+//   - write-path corruption → degraded mode with rollback;
+//   - any other failed durable op (ENOSPC on the WAL append, a transient
+//     commit failure) → clean abort: the in-memory labeler rolls back to
+//     the committed metadata and the store STAYS WRITABLE — the pager
+//     already restored its header to the pre-op snapshot, so the next op
+//     runs against exactly the committed prefix.
+//
+// It must run in the writer's exclusive section (it rolls the labeler
+// back to committed state).
 func (s *Store) noteFaults(opErr error) {
 	if wf := s.store.WriteFault(); wf != nil {
 		s.enterDegraded(wf)
 		return
 	}
-	if opErr != nil && errors.Is(opErr, pager.ErrCorrupt) {
-		s.enterDegraded(opErr)
+	if p, ok := unwrapBackend(s.store.Backend()).(poisoner); ok {
+		if perr := p.Poisoned(); perr != nil {
+			s.enterDegraded(perr)
+			return
+		}
 	}
+	if opErr == nil {
+		return
+	}
+	if errors.Is(opErr, pager.ErrCorrupt) {
+		s.enterDegraded(opErr)
+		return
+	}
+	if s.opts.Durable {
+		s.abortToCommitted(opErr)
+	}
+}
+
+// abortToCommitted rolls the in-memory labeler back to the last committed
+// metadata after a durable op failed without degrading the store (ENOSPC,
+// a transient commit fault): the pager restored its header to the pre-op
+// snapshot, so memory must follow or lookups would serve state that never
+// became durable. The store stays writable. If even the rollback fails,
+// memory and disk cannot be reconciled and the store degrades after all.
+func (s *Store) abortToCommitted(cause error) {
+	s.store.InvalidateCache()
+	if err := s.restoreCommittedMeta(); err != nil {
+		s.enterDegraded(fmt.Errorf("op abort: %v; metadata rollback also failed: %w", cause, err))
+		return
+	}
+	if s.cache != nil {
+		s.cache.Log().DropAll()
+	}
+	s.reg.Inc(obs.CtrCoreOpAborts)
 }
 
 // enterDegraded flips the store read-only (first caller wins) and rolls the
@@ -76,6 +128,13 @@ func (s *Store) noteFaults(opErr error) {
 // blob cannot be re-read the in-memory state is kept as is (mutations are
 // rejected either way). Any caching layer's modification log is dropped so
 // cached labels re-validate through full lookups.
+//
+// When the cause is a poisoned backend (pager.ErrPoisoned) the rollback
+// is skipped deliberately: the poisoned transaction's commit record is —
+// or may be — durable in the WAL, so the in-memory state already matches
+// what a reopen will recover (or at worst runs one resolved-at-reopen
+// transaction ahead), while rolling back would re-read meta blocks the
+// cut-short apply never wrote in place.
 func (s *Store) enterDegraded(cause error) {
 	if !s.deg.CompareAndSwap(nil, &degradedInfo{cause: cause}) {
 		return
@@ -84,7 +143,7 @@ func (s *Store) enterDegraded(cause error) {
 	// A group commit that aborted asynchronously (after its EndOp returned)
 	// may have left pre-abort images in the pager's LRU cache.
 	s.store.InvalidateCache()
-	if s.opts.Durable {
+	if s.opts.Durable && !errors.Is(cause, pager.ErrPoisoned) {
 		if err := s.restoreCommittedMeta(); err != nil {
 			s.deg.Store(&degradedInfo{cause: fmt.Errorf("%v; metadata rollback also failed: %v", cause, err)})
 		}

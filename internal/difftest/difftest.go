@@ -45,18 +45,20 @@ type Engine struct {
 	ops    int // decoded operations executed
 }
 
-// configs is the scheme matrix: every dynamic scheme of the paper plus the
-// naive baseline.
-func configs() []struct {
-	name    string
-	opts    core.Options
-	ordinal bool
-} {
-	return []struct {
-		name    string
-		opts    core.Options
-		ordinal bool
-	}{
+// Config is one scheme of the shared test matrix: its display name, the
+// structural core.Options selecting it, and whether it supports ordinal
+// (rank) queries.
+type Config struct {
+	Name    string
+	Opts    core.Options
+	Ordinal bool
+}
+
+// Configs is the scheme matrix shared by the differential fuzzer and the
+// deterministic simulator (internal/sim): every dynamic scheme of the
+// paper plus the naive baseline.
+func Configs() []Config {
+	return []Config{
 		{"wbox", core.Options{Scheme: core.SchemeWBox, Ordinal: true}, true},
 		{"wbox-o", core.Options{Scheme: core.SchemeWBoxO, Ordinal: true}, true},
 		{"bbox", core.Options{Scheme: core.SchemeBBox}, false},
@@ -68,18 +70,18 @@ func configs() []struct {
 // New builds a fresh engine with one in-memory store per scheme.
 func New() (*Engine, error) {
 	e := &Engine{}
-	for _, cfg := range configs() {
-		opts := cfg.opts
+	for _, cfg := range Configs() {
+		opts := cfg.Opts
 		opts.BlockSize = blockSize
 		st, err := core.Open(opts)
 		if err != nil {
-			return nil, fmt.Errorf("difftest: open %s: %w", cfg.name, err)
+			return nil, fmt.Errorf("difftest: open %s: %w", cfg.Name, err)
 		}
 		e.worlds = append(e.worlds, &world{
-			name:    cfg.name,
+			name:    cfg.Name,
 			st:      st,
 			oracle:  order.NewOracle(),
-			ordinal: cfg.ordinal,
+			ordinal: cfg.Ordinal,
 		})
 	}
 	return e, nil

@@ -43,6 +43,30 @@ func (c Class) String() string {
 // failure is expected to clear on retry.
 var ErrTransient = errors.New("transient fault")
 
+// ErrNoSpace marks a write that failed because the device is out of
+// space. It is Permanent for retry purposes (retrying in a tight loop
+// will not free disk), but unlike other permanent write faults the store
+// aborts the current transaction cleanly and stays writable — the next
+// op may succeed once space is reclaimed. The pager re-exports it as
+// pager.ErrNoSpace.
+var ErrNoSpace = errors.New("no space left on device")
+
+// SyncError wraps a failed fsync. An fsync failure is categorically
+// non-retryable no matter what errno it carries: after a failed fsync
+// the kernel may have dropped the dirty pages, so a later fsync that
+// returns nil proves nothing about the earlier writes (the "fsyncgate"
+// semantics). Classify reports it Permanent even when the wrapped cause
+// is nominally transient, and the Retrier therefore never re-runs it.
+type SyncError struct {
+	Err error
+}
+
+func (e *SyncError) Error() string {
+	return fmt.Sprintf("faults: fsync failed (non-retryable): %v", e.Err)
+}
+
+func (e *SyncError) Unwrap() error { return e.Err }
+
 // transienter is the interface form of the transient marker, for errors
 // that cannot wrap ErrTransient directly.
 type transienter interface {
@@ -52,17 +76,30 @@ type transienter interface {
 // Classify sorts err into Transient or Permanent.
 //
 // An exhausted retry budget (ExhaustedError) is Permanent even though it
-// wraps a transient cause — retrying has already been tried. Everything
-// explicitly marked transient (ErrTransient, a Transient() bool method),
-// interrupted or would-block syscalls, and short writes are Transient.
-// Everything else — including nil — is Permanent: the caller only asks
-// after a failure, and an unknown failure must not be retried blindly.
+// wraps a transient cause — retrying has already been tried. A failed
+// fsync (SyncError) is Permanent regardless of the wrapped errno: the
+// kernel may already have dropped the dirty pages, so retrying the sync
+// cannot re-establish durability (checked before the transient markers
+// so a SyncError wrapping EINTR still refuses retry). ENOSPC
+// (ErrNoSpace) is Permanent — space does not come back in a backoff
+// loop. Everything explicitly marked transient (ErrTransient, a
+// Transient() bool method), interrupted or would-block syscalls, and
+// short writes are Transient. Everything else — including nil — is
+// Permanent: the caller only asks after a failure, and an unknown
+// failure must not be retried blindly.
 func Classify(err error) Class {
 	if err == nil {
 		return Permanent
 	}
 	var ex *ExhaustedError
 	if errors.As(err, &ex) {
+		return Permanent
+	}
+	var se *SyncError
+	if errors.As(err, &se) {
+		return Permanent
+	}
+	if errors.Is(err, ErrNoSpace) || errors.Is(err, syscall.ENOSPC) {
 		return Permanent
 	}
 	if errors.Is(err, ErrTransient) {

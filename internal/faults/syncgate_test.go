@@ -1,0 +1,88 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+)
+
+// TestClassifySyncErrorPermanent pins the fsyncgate rule: an error that
+// passed through an fsync classifies Permanent even when the wrapped
+// errno is one Classify would otherwise call Transient — after a failed
+// fsync the kernel may have dropped the dirty pages, so "retry and trust
+// the next success" silently loses the write.
+func TestClassifySyncErrorPermanent(t *testing.T) {
+	cases := []error{
+		&SyncError{Err: errors.New("EIO")},
+		&SyncError{Err: syscall.EINTR},
+		&SyncError{Err: ErrTransient},
+		fmt.Errorf("commit: %w", &SyncError{Err: syscall.EAGAIN}),
+	}
+	for _, err := range cases {
+		if got := Classify(err); got != Permanent {
+			t.Errorf("Classify(%v) = %v, want Permanent", err, got)
+		}
+	}
+}
+
+// TestClassifyNoSpacePermanent: a full disk is not a flake — backoff and
+// retry cannot create free space, so ErrNoSpace (and raw ENOSPC) must
+// classify Permanent and skip the retry loop entirely.
+func TestClassifyNoSpacePermanent(t *testing.T) {
+	cases := []error{
+		ErrNoSpace,
+		fmt.Errorf("wal append: %w", ErrNoSpace),
+		syscall.ENOSPC,
+		fmt.Errorf("pwrite: %w", syscall.ENOSPC),
+	}
+	for _, err := range cases {
+		if got := Classify(err); got != Permanent {
+			t.Errorf("Classify(%v) = %v, want Permanent", err, got)
+		}
+	}
+}
+
+// TestScheduleNoSpaceAtWrite checks the one-shot full-disk injection: the
+// n-th write fails with ModeNoSpace, everything before and after is
+// healthy (space "came back").
+func TestScheduleNoSpaceAtWrite(t *testing.T) {
+	s := NewSchedule(1)
+	s.NoSpaceAtWrite(2)
+	if d := s.Decide(OpWrite); d.Fail {
+		t.Fatalf("write 1 failed early: %+v", d)
+	}
+	d := s.Decide(OpWrite)
+	if !d.Fail || d.Mode != ModeNoSpace {
+		t.Fatalf("write 2: %+v, want ModeNoSpace failure", d)
+	}
+	if d := s.Decide(OpWrite); d.Fail {
+		t.Fatalf("write 3 failed after the one-shot: %+v", d)
+	}
+	if s.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", s.Injected())
+	}
+}
+
+// TestScheduleFailSyncAt checks the sync-point clock: only OpSync
+// decisions advance it, and the armed sync fails exactly once.
+func TestScheduleFailSyncAt(t *testing.T) {
+	s := NewSchedule(1)
+	s.FailSyncAt(2)
+	if d := s.Decide(OpSync); d.Fail {
+		t.Fatalf("sync 1 failed early: %+v", d)
+	}
+	if d := s.Decide(OpWrite); d.Fail {
+		t.Fatalf("writes must not advance the sync clock: %+v", d)
+	}
+	d := s.Decide(OpSync)
+	if !d.Fail {
+		t.Fatalf("sync 2: %+v, want failure", d)
+	}
+	if s.Syncs() != 2 {
+		t.Fatalf("syncs = %d, want 2", s.Syncs())
+	}
+	if d := s.Decide(OpSync); d.Fail {
+		t.Fatalf("sync 3 failed after the one-shot: %+v", d)
+	}
+}

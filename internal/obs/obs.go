@@ -157,6 +157,42 @@ const (
 	// CtrCoreDegraded counts transitions of a store into read-only
 	// degraded mode after a permanent write-path fault.
 	CtrCoreDegraded
+	// CtrPagerPoisoned counts backends poisoned by a failed fsync or a
+	// post-durability-point commit failure (see pager.ErrPoisoned).
+	CtrPagerPoisoned
+	// CtrCoreOpAborts counts durable operations rolled back cleanly to
+	// the committed state after a commit failure that did not degrade the
+	// store (ENOSPC, transient commit faults).
+	CtrCoreOpAborts
+	// CtrSimHistories counts simulated histories run to completion by the
+	// deterministic simulation harness (internal/sim).
+	CtrSimHistories
+	// CtrSimOps counts logical operations executed across simulated
+	// histories.
+	CtrSimOps
+	// CtrSimRestarts counts crash-restart cycles (close, fsck, reopen,
+	// oracle resync) the simulator drove.
+	CtrSimRestarts
+	// CtrSimFaultsCrash counts injected power cuts (full and torn).
+	CtrSimFaultsCrash
+	// CtrSimFaultsNoSpace counts injected ENOSPC write failures.
+	CtrSimFaultsNoSpace
+	// CtrSimFaultsSyncFail counts injected fsync failures.
+	CtrSimFaultsSyncFail
+	// CtrSimFaultsTransient counts injected transient I/O flakes.
+	CtrSimFaultsTransient
+	// CtrSimRedoCrashes counts second crashes injected during WAL redo
+	// (crash-during-recovery points).
+	CtrSimRedoCrashes
+	// CtrSimMinimizeRuns counts replays executed by the history minimizer
+	// while shrinking a failure.
+	CtrSimMinimizeRuns
+	// CtrSimMinimizeEventsIn counts events entering the minimizer (the
+	// failing traces' sizes); together with CtrSimMinimizeEventsOut it
+	// yields the harness's aggregate shrink ratio.
+	CtrSimMinimizeEventsIn
+	// CtrSimMinimizeEventsOut counts events surviving minimization.
+	CtrSimMinimizeEventsOut
 	numCounters
 )
 
@@ -193,6 +229,19 @@ var counterNames = [numCounters]string{
 	CtrPagerScrubRepairs:     "pager_scrub_repairs_total",
 	CtrPagerScrubPasses:      "pager_scrub_passes_total",
 	CtrCoreDegraded:          "core_degraded_transitions_total",
+	CtrPagerPoisoned:         "pager_poisoned_total",
+	CtrCoreOpAborts:          "core_op_aborts_total",
+	CtrSimHistories:          "sim_histories_total",
+	CtrSimOps:                "sim_ops_total",
+	CtrSimRestarts:           "sim_restarts_total",
+	CtrSimFaultsCrash:        "sim_faults_crash_total",
+	CtrSimFaultsNoSpace:      "sim_faults_nospace_total",
+	CtrSimFaultsSyncFail:     "sim_faults_syncfail_total",
+	CtrSimFaultsTransient:    "sim_faults_transient_total",
+	CtrSimRedoCrashes:        "sim_redo_crashes_total",
+	CtrSimMinimizeRuns:       "sim_minimize_runs_total",
+	CtrSimMinimizeEventsIn:   "sim_minimize_events_in_total",
+	CtrSimMinimizeEventsOut:  "sim_minimize_events_out_total",
 }
 
 func (c Counter) String() string {

@@ -100,6 +100,8 @@ type crashFile struct {
 	ctrl *CrashController
 }
 
+func (cf *crashFile) rawFile() blockFile { return cf.f }
+
 func (cf *crashFile) ReadAt(p []byte, off int64) (int, error) {
 	if cf.ctrl.dead() {
 		return 0, ErrCrashed

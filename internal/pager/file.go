@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"syscall"
 	"time"
 
+	"boxes/internal/faults"
 	"boxes/internal/obs"
 )
 
@@ -53,7 +55,32 @@ type FileOptions struct {
 	// CrashControl injects a simulated power cut at a precise raw write
 	// point (tests only). See CrashController.
 	CrashControl *CrashController
+	// DiskControl injects a pre-planned schedule of composed disk faults
+	// (crashes, torn writes, ENOSPC, transient flakes, fsync failures) at
+	// precise raw write and sync points (tests and the simulator only).
+	// See DiskController. Composes with CrashControl: the crash
+	// controller wraps outermost, so both charge the same point order.
+	DiskControl *DiskController
 }
+
+// ErrNoSpace marks a write that failed because the device is out of
+// space (faults.ErrNoSpace re-exported at the pager surface). Unlike
+// other permanent write faults it aborts the current transaction cleanly
+// — header and staged state roll back to the pre-op snapshot — and the
+// store stays writable: the next commit may succeed once space is
+// reclaimed, so core must not latch read-only degraded mode on it.
+var ErrNoSpace = faults.ErrNoSpace
+
+// ErrPoisoned is returned by every commit attempted after a commit
+// failed past a point where the durable state became ambiguous or ran
+// ahead of the apply — a failed fsync (the kernel may have dropped the
+// dirty pages: fsyncgate), or a phase-2/3 failure that left a committed
+// transaction unapplied in the WAL. Accepting further commits in either
+// state could truncate a WAL whose images were never applied, silently
+// corrupting the store; instead the backend fails every later commit
+// fast and the path must be reopened, which resolves the ambiguity by
+// redoing (or discarding) the WAL tail.
+var ErrPoisoned = errors.New("pager: backend poisoned by a failed commit; reopen to recover from the WAL")
 
 // WALStats counts the physical I/O the durability machinery performs on
 // top of the logical block writes, so write amplification is observable.
@@ -145,6 +172,13 @@ type FileBackend struct {
 	obs      *obs.Registry // nil-safe
 	closed   bool
 
+	// poison is set (under poisonMu) the moment a commit fails in a way
+	// that leaves the durable state ambiguous or the WAL ahead of the
+	// data file: a failed fsync, or any phase-2/3 failure. Every later
+	// commit fails fast with it; see ErrPoisoned.
+	poisonMu sync.Mutex
+	poison   error
+
 	// applyMu serializes in-place block rewrites (phase 2 of a commit,
 	// scrub repairs) against the scrubber's raw disk reads, which bypass
 	// the staged-image and group-commit overlays (see scrub.go).
@@ -181,13 +215,13 @@ func CreateFileOpts(path string, opts FileOptions) (*FileBackend, error) {
 	if !opts.NoWAL {
 		fb.flags |= flagWAL
 	}
-	f, err := openRaw(path, true, opts.CrashControl)
+	f, err := openRaw(path, true, opts.CrashControl, opts.DiskControl)
 	if err != nil {
 		return nil, err
 	}
 	fb.f = f
 	if fb.flags&flagChecksums != 0 {
-		c, err := openRaw(path+".crc", true, opts.CrashControl)
+		c, err := openRaw(path+".crc", true, opts.CrashControl, opts.DiskControl)
 		if err != nil {
 			fb.f.Close()
 			return nil, err
@@ -199,7 +233,7 @@ func CreateFileOpts(path string, opts FileOptions) (*FileBackend, error) {
 		}
 	}
 	if fb.flags&flagWAL != 0 {
-		w, err := openRaw(path+".wal", true, opts.CrashControl)
+		w, err := openRaw(path+".wal", true, opts.CrashControl, opts.DiskControl)
 		if err != nil {
 			fb.closeFiles()
 			return nil, err
@@ -232,7 +266,7 @@ func OpenFile(path string) (*FileBackend, error) {
 // OpenFileOpts opens an existing store. Durability features come from the
 // stored header flags; only NoSync and CrashControl are honored here.
 func OpenFileOpts(path string, opts FileOptions) (*FileBackend, error) {
-	f, err := openRaw(path, false, opts.CrashControl)
+	f, err := openRaw(path, false, opts.CrashControl, opts.DiskControl)
 	if err != nil {
 		return nil, err
 	}
@@ -248,7 +282,7 @@ func OpenFileOpts(path string, opts FileOptions) (*FileBackend, error) {
 	if hdrErr != nil {
 		// A torn header is recoverable when the WAL holds a committed
 		// transaction: its commit frame carries the full header state.
-		if rerr := fb.recoverHeaderFromWAL(path, opts.CrashControl); rerr != nil {
+		if rerr := fb.recoverHeaderFromWAL(path, opts.CrashControl, opts.DiskControl); rerr != nil {
 			fb.f.Close()
 			if errors.Is(hdrErr, ErrCorrupt) {
 				return nil, hdrErr
@@ -262,14 +296,14 @@ func OpenFileOpts(path string, opts FileOptions) (*FileBackend, error) {
 		return nil, err
 	}
 	if fb.flags&flagChecksums != 0 && fb.crc == nil {
-		if err := fb.openSidecar(opts.CrashControl); err != nil {
+		if err := fb.openSidecar(opts.CrashControl, opts.DiskControl); err != nil {
 			fb.closeFiles()
 			return nil, err
 		}
 	}
 	if fb.flags&flagWAL != 0 {
 		if fb.wal == nil {
-			if err := fb.openWAL(opts.CrashControl); err != nil {
+			if err := fb.openWAL(opts.CrashControl, opts.DiskControl); err != nil {
 				fb.closeFiles()
 				return nil, err
 			}
@@ -287,18 +321,23 @@ func OpenFileOpts(path string, opts FileOptions) (*FileBackend, error) {
 }
 
 // openRaw opens one of the store's files, optionally routed through a
-// crash controller.
-func openRaw(path string, create bool, ctrl *CrashController) (blockFile, error) {
+// disk and/or crash controller (the crash controller wraps outermost).
+func openRaw(path string, create bool, ctrl *CrashController, dc *DiskController) (blockFile, error) {
 	mode := os.O_RDWR
 	if create {
 		mode |= os.O_CREATE | os.O_TRUNC
 	}
-	f, err := os.OpenFile(path, mode, 0o644)
+	var f blockFile
+	osf, err := os.OpenFile(path, mode, 0o644)
 	if err != nil {
 		return nil, err
 	}
+	f = osf
+	if dc != nil {
+		f = &diskFile{f: f, ctrl: dc}
+	}
 	if ctrl != nil {
-		return &crashFile{f: f, ctrl: ctrl}, nil
+		f = &crashFile{f: f, ctrl: ctrl}
 	}
 	return f, nil
 }
@@ -359,23 +398,26 @@ func (fb *FileBackend) validateGeometry() error {
 	return nil
 }
 
+// rawFiler lets injection wrappers (crashFile, diskFile) expose the file
+// they wrap, so fileSize can reach the real *os.File underneath any
+// wrapper stack.
+type rawFiler interface{ rawFile() blockFile }
+
 // fileSize probes a blockFile's length (blockFile has no Stat).
 func fileSize(f blockFile) (int64, error) {
-	if osf, ok := f.(*os.File); ok {
-		st, err := osf.Stat()
-		if err != nil {
-			return 0, err
-		}
-		return st.Size(), nil
-	}
-	if cf, ok := f.(*crashFile); ok {
-		if osf, ok := cf.f.(*os.File); ok {
+	for {
+		if osf, ok := f.(*os.File); ok {
 			st, err := osf.Stat()
 			if err != nil {
 				return 0, err
 			}
 			return st.Size(), nil
 		}
+		rf, ok := f.(rawFiler)
+		if !ok {
+			break
+		}
+		f = rf.rawFile()
 	}
 	data, err := readAll(f)
 	if err != nil {
@@ -385,7 +427,7 @@ func fileSize(f blockFile) (int64, error) {
 }
 
 // openSidecar opens (or rebuilds) the checksum sidecar.
-func (fb *FileBackend) openSidecar(ctrl *CrashController) error {
+func (fb *FileBackend) openSidecar(ctrl *CrashController, dc *DiskController) error {
 	if _, err := os.Stat(fb.path + ".crc"); err != nil {
 		if !os.IsNotExist(err) {
 			return err
@@ -394,7 +436,7 @@ func (fb *FileBackend) openSidecar(ctrl *CrashController) error {
 		// store). Rebuild it from the data we have: no verification is
 		// possible for the rebuilt entries, but every later write is
 		// protected again.
-		c, err := openRaw(fb.path+".crc", true, ctrl)
+		c, err := openRaw(fb.path+".crc", true, ctrl, dc)
 		if err != nil {
 			return err
 		}
@@ -414,7 +456,7 @@ func (fb *FileBackend) openSidecar(ctrl *CrashController) error {
 		fb.recovery.SidecarRebuilt = true
 		return fb.sync(fb.crc)
 	}
-	c, err := openRaw(fb.path+".crc", false, ctrl)
+	c, err := openRaw(fb.path+".crc", false, ctrl, dc)
 	if err != nil {
 		return err
 	}
@@ -435,13 +477,13 @@ func (fb *FileBackend) openSidecar(ctrl *CrashController) error {
 }
 
 // openWAL opens (or creates) the write-ahead log file.
-func (fb *FileBackend) openWAL(ctrl *CrashController) error {
+func (fb *FileBackend) openWAL(ctrl *CrashController, dc *DiskController) error {
 	_, statErr := os.Stat(fb.path + ".wal")
 	missing := os.IsNotExist(statErr)
 	if statErr != nil && !missing {
 		return statErr
 	}
-	w, err := openRaw(fb.path+".wal", missing, ctrl)
+	w, err := openRaw(fb.path+".wal", missing, ctrl, dc)
 	if err != nil {
 		return err
 	}
@@ -458,11 +500,11 @@ func (fb *FileBackend) openWAL(ctrl *CrashController) error {
 // recoverHeaderFromWAL rebuilds a torn header from the committed
 // transaction in the WAL, if there is one. The WAL header supplies the
 // block size the store header could not.
-func (fb *FileBackend) recoverHeaderFromWAL(path string, ctrl *CrashController) error {
+func (fb *FileBackend) recoverHeaderFromWAL(path string, ctrl *CrashController, dc *DiskController) error {
 	if _, err := os.Stat(path + ".wal"); err != nil {
 		return err
 	}
-	w, err := openRaw(path+".wal", false, ctrl)
+	w, err := openRaw(path+".wal", false, ctrl, dc)
 	if err != nil {
 		return err
 	}
@@ -644,12 +686,46 @@ func (fb *FileBackend) offset(id BlockID) int64 {
 	return int64(id) * int64(fb.blockSize)
 }
 
-// sync fsyncs one of the store's files, counting the call (WAL vs data)
-// before the NoSync short-circuit so the fsync *pattern* stays measurable
-// in fsync-free benchmark runs.
+// Poisoned returns the error that poisoned the backend, or nil. A
+// poisoned backend fails every commit fast (see ErrPoisoned); reads keep
+// working so degraded-mode lookups can continue until the reopen.
+func (fb *FileBackend) Poisoned() error {
+	fb.poisonMu.Lock()
+	defer fb.poisonMu.Unlock()
+	return fb.poison
+}
+
+// poisonWith latches cause as the backend's poison (first cause wins).
+func (fb *FileBackend) poisonWith(cause error) {
+	fb.poisonMu.Lock()
+	defer fb.poisonMu.Unlock()
+	if fb.poison == nil {
+		fb.poison = fmt.Errorf("%w: %w", ErrPoisoned, cause)
+		fb.obs.Inc(obs.CtrPagerPoisoned)
+	}
+}
+
+// sync fsyncs one of the store's files. The durability counter (WAL vs
+// data) is charged only on success: a failed fsync is NOT a durability
+// point, and trusting a retried one would be the fsyncgate bug — after a
+// failed fsync the kernel may have dropped the dirty pages, so a later
+// clean return proves nothing about these writes. A failure is therefore
+// wrapped in faults.SyncError (classified Permanent regardless of errno,
+// so the retry layer never re-runs it) and poisons the backend: the
+// commit in flight is unresolved until a reopen replays or discards it
+// from the WAL. Under NoSync the call trivially succeeds and is still
+// counted, so the fsync *pattern* stays measurable in fsync-free
+// benchmark runs.
 func (fb *FileBackend) sync(f blockFile) error {
 	if f == nil {
 		return nil
+	}
+	if !fb.nosync {
+		if err := f.Sync(); err != nil {
+			serr := &faults.SyncError{Err: err}
+			fb.poisonWith(serr)
+			return serr
+		}
 	}
 	fb.statsMu.Lock()
 	if f == fb.wal {
@@ -661,10 +737,7 @@ func (fb *FileBackend) sync(f blockFile) error {
 	if f == fb.wal {
 		fb.obs.Inc(obs.CtrPagerWALSyncs)
 	}
-	if fb.nosync {
-		return nil
-	}
-	return f.Sync()
+	return nil
 }
 
 func (fb *FileBackend) syncAll() error {
@@ -780,12 +853,34 @@ func (fb *FileBackend) commitImplicit(stage map[BlockID][]byte) error {
 	return fb.commit(stage, fb.headerState())
 }
 
+// mapNoSpace surfaces an out-of-space write failure as the typed
+// ErrNoSpace so callers can tell a full-but-healthy disk (clean abort,
+// stay writable) from a broken one (degrade).
+func mapNoSpace(err error) error {
+	if err == nil || errors.Is(err, faults.ErrNoSpace) {
+		return err
+	}
+	if errors.Is(err, syscall.ENOSPC) {
+		return fmt.Errorf("%w (%v)", faults.ErrNoSpace, err)
+	}
+	return err
+}
+
 // commit runs the WAL protocol for a set of staged images plus the current
 // header state. On failure before the commit record is durable the header
-// fields roll back to pre; after that point the in-memory state stands
-// (the transaction is durable even if the apply was cut short — recovery
-// will finish it).
+// fields roll back to pre — the abort is clean, the store stays usable,
+// and an ENOSPC surfaces as the typed ErrNoSpace. A failed WAL fsync or
+// any failure after the durability point instead poisons the backend
+// (see ErrPoisoned): in the first case durability of the commit record is
+// unknowable, in the second the WAL holds a committed transaction the
+// data file does not — either way a later successful commit would
+// truncate the WAL over it, so no later commit is allowed until a reopen
+// resolves the log.
 func (fb *FileBackend) commit(stage map[BlockID][]byte, pre walHeaderState) error {
+	if err := fb.Poisoned(); err != nil {
+		fb.restoreHeaderState(pre)
+		return err
+	}
 	if fb.gc.on.Load() {
 		// While group commit runs every commit funnels through the
 		// committer goroutine — the WAL's single appender — and this
@@ -817,14 +912,14 @@ func (fb *FileBackend) commit(stage map[BlockID][]byte, pre walHeaderState) erro
 		frame := encodeWALFrame(img.id, img.data)
 		if _, err := fb.wal.WriteAt(frame, fb.walSize+int64(logged)); err != nil {
 			fb.restoreHeaderState(pre)
-			return err
+			return mapNoSpace(err)
 		}
 		logged += len(frame)
 	}
 	commitFrame := encodeWALCommit(len(images), fb.headerState())
 	if _, err := fb.wal.WriteAt(commitFrame, fb.walSize+int64(logged)); err != nil {
 		fb.restoreHeaderState(pre)
-		return err
+		return mapNoSpace(err)
 	}
 	logged += len(commitFrame)
 	section(obs.PhaseFrameWrite, t0)
@@ -875,12 +970,17 @@ func (fb *FileBackend) commit(stage map[BlockID][]byte, pre walHeaderState) erro
 		}
 		return nil
 	}(); err != nil {
+		// The commit record is durable but the apply was cut short: the
+		// WAL is ahead of the data file. Poison so no later commit can
+		// truncate the log over the unapplied images.
+		fb.poisonWith(err)
 		return err
 	}
 
 	// Phase 3: reset the log. If the truncate is lost to a crash the
 	// committed transaction replays at next open — pure redo, idempotent.
 	if err := fb.wal.Truncate(walHeaderSize); err != nil {
+		fb.poisonWith(err)
 		return err
 	}
 	fb.walSize = walHeaderSize

@@ -235,6 +235,13 @@ func (fb *FileBackend) CommitBatchAsync() (*CommitTicket, error) {
 func (fb *FileBackend) gcEnqueue(images []walImage) *CommitTicket {
 	gc := &fb.gc
 	t := &CommitTicket{done: make(chan struct{})}
+	if err := fb.Poisoned(); err != nil {
+		// A poisoned backend must not accept new transactions: flushing
+		// them would truncate a WAL that still holds unapplied images.
+		t.err = err
+		close(t.done)
+		return t
+	}
 	gc.mu.Lock()
 	if gc.err != nil {
 		err := gc.err
@@ -499,6 +506,9 @@ func (fb *FileBackend) applyGroup(group []*groupTxn) (err error) {
 		}
 		return nil
 	}(); err != nil {
+		// Committed-but-unapplied transactions are in the WAL: poison so
+		// no later (sync or group) commit truncates the log over them.
+		fb.poisonWith(err)
 		return err
 	}
 
@@ -506,6 +516,7 @@ func (fb *FileBackend) applyGroup(group []*groupTxn) (err error) {
 	// commit runs, so everything logged is now applied; losing the
 	// truncate to a crash just replays the group — idempotent redo.
 	if err = fb.wal.Truncate(walHeaderSize); err != nil {
+		fb.poisonWith(err)
 		return err
 	}
 	fb.walSize = walHeaderSize

@@ -47,6 +47,8 @@ func (b *FaultBackend) charge(op faults.Op) error {
 		return fmt.Errorf("%w (%s)", ErrCrashed, op)
 	case faults.ModeTransient:
 		return fmt.Errorf("%w (%s, %w)", ErrInjected, op, faults.ErrTransient)
+	case faults.ModeNoSpace:
+		return fmt.Errorf("%w (%s, %w)", ErrInjected, op, faults.ErrNoSpace)
 	default:
 		return fmt.Errorf("%w (%s, permanent)", ErrInjected, op)
 	}
@@ -101,6 +103,8 @@ func (b *FaultBackend) WriteBlock(id BlockID, buf []byte) error {
 		return fmt.Errorf("%w (block %d)", ErrCrashed, id)
 	case faults.ModeTransient:
 		return fmt.Errorf("%w (write block %d, %w)", ErrInjected, id, faults.ErrTransient)
+	case faults.ModeNoSpace:
+		return fmt.Errorf("%w (write block %d, %w)", ErrInjected, id, faults.ErrNoSpace)
 	default:
 		return fmt.Errorf("%w (write block %d, permanent)", ErrInjected, id)
 	}

@@ -433,12 +433,17 @@ func (s *Store) EndOp() error {
 				s.countIOError(err)
 				s.NoteWriteFault(err)
 				firstErr = err
+				// The flush loop above cached the dirty images; a failed
+				// commit means disk rolled back (or never advanced), so
+				// those entries are phantoms.
+				s.InvalidateCache()
 			}
 			s.ticket = t
 		} else if err := s.timedPhase(obs.PhaseWALCommit, &s.phaseCommit, tx.CommitBatch); err != nil {
 			s.countIOError(err)
 			s.NoteWriteFault(err)
 			firstErr = err
+			s.InvalidateCache()
 		}
 	}
 	return firstErr

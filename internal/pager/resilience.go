@@ -75,12 +75,18 @@ func (s *Store) retryBackend(fn func() error) error {
 type writeFault struct{ err error }
 
 // NoteWriteFault latches err as the store's write fault if it is a
-// permanent failure (transient errors are the retry layer's business).
-// The pager calls it on every failed mutation path — immediate writes,
-// EndOp flushes and commits, allocations and frees; core also reports
-// asynchronous commit-ticket failures here. Only the first fault is kept.
+// permanent failure (transient errors are the retry layer's business;
+// ErrNoSpace is excluded too — a full disk aborts the op cleanly and the
+// store must stay writable for when space returns, so it never latches
+// degraded mode). The pager calls it on every failed mutation path —
+// immediate writes, EndOp flushes and commits, allocations and frees;
+// core also reports asynchronous commit-ticket failures here. Only the
+// first fault is kept.
 func (s *Store) NoteWriteFault(err error) {
 	if err == nil || faults.Classify(err) != faults.Permanent {
+		return
+	}
+	if errors.Is(err, ErrNoSpace) {
 		return
 	}
 	s.wfault.CompareAndSwap(nil, &writeFault{err: err})

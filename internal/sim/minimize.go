@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"boxes/internal/obs"
+)
+
+// MinimizeResult is the outcome of shrinking a failing trace.
+type MinimizeResult struct {
+	Events []Event // the minimized trace (any subsequence of the input)
+	Report *Report // the failing run of the minimized trace
+	Runs   int     // histories executed while shrinking
+}
+
+// DefaultMinimizeBudget caps how many histories Minimize may execute.
+const DefaultMinimizeBudget = 400
+
+// Minimize shrinks a failing trace to a near-minimal subsequence that
+// still fails, ddmin style: first truncate everything after the event the
+// failure surfaced at, then repeatedly try removing chunks of shrinking
+// size, restarting whenever a removal succeeds. Operands are positional,
+// so every subsequence is a valid trace; any still-failing variant is
+// accepted (the minimal history may fail differently than the original).
+// budget <= 0 uses DefaultMinimizeBudget.
+func Minimize(cfg Config, trace []Event, failure *Failure, budget int) (*MinimizeResult, error) {
+	cfg = cfg.withDefaults()
+	if budget <= 0 {
+		budget = DefaultMinimizeBudget
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+	}
+	res := &MinimizeResult{}
+	var lastFail *Report
+	run := func(t []Event) (*Report, error) {
+		res.Runs++
+		reg.Inc(obs.CtrSimMinimizeRuns)
+		return RunTrace(cfg, t)
+	}
+
+	// Everything after the failing event is noise by construction.
+	cur := trace
+	if failure != nil && failure.EventIndex+1 < len(cur) {
+		cand := cur[:failure.EventIndex+1]
+		rep, err := run(cand)
+		if err != nil {
+			return nil, err
+		}
+		if rep.Failure != nil {
+			cur, lastFail = cand, rep
+		}
+	}
+	if lastFail == nil {
+		rep, err := run(cur)
+		if err != nil {
+			return nil, err
+		}
+		if rep.Failure == nil {
+			// The input does not fail (flaky caller); report it as is.
+			res.Events = cur
+			res.Report = rep
+			return res, nil
+		}
+		lastFail = rep
+	}
+
+	// ddmin over subsequences: remove one of n chunks at a time.
+	n := 2
+	for len(cur) > 1 && res.Runs < budget {
+		chunk := (len(cur) + n - 1) / n
+		removedAny := false
+		for start := 0; start < len(cur) && res.Runs < budget; start += chunk {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := make([]Event, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if len(cand) == 0 {
+				continue
+			}
+			rep, err := run(cand)
+			if err != nil {
+				return nil, err
+			}
+			if rep.Failure != nil {
+				cur, lastFail = cand, rep
+				removedAny = true
+				break
+			}
+		}
+		if removedAny {
+			if n > 2 {
+				n--
+			}
+			continue
+		}
+		if chunk == 1 {
+			break
+		}
+		n *= 2
+		if n > len(cur) {
+			n = len(cur)
+		}
+	}
+	res.Events = cur
+	res.Report = lastFail
+	reg.Add(obs.CtrSimMinimizeEventsIn, uint64(len(trace)))
+	reg.Add(obs.CtrSimMinimizeEventsOut, uint64(len(cur)))
+	return res, nil
+}

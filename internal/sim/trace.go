@@ -1,0 +1,308 @@
+// Package sim is the deterministic simulation harness: it runs long
+// randomized operation histories — insert/delete/lookup/batch mixes plus
+// adversarial insertion patterns in the style of Bulánek–Koucký–Saks lower
+// bounds — against every labeling scheme over a durable file-backed store,
+// while a single seeded RNG drives a composed fault schedule of torn
+// writes, crash-restart loops (including crashes injected during WAL
+// redo), ENOSPC at arbitrary write points, fsync failures, and transient
+// I/O flakes. An in-memory oracle is checked after every recovery, so any
+// divergence between the recovered structure and an exact operation
+// boundary is a failure. Every history is a pure function of its seed and
+// config: a failure replays byte-identically from the printed seed, and
+// the built-in minimizer (see Minimize) shrinks a failing history to a
+// near-minimal prefix of operations and faults.
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+)
+
+// EventKind distinguishes the three trace event classes.
+type EventKind uint8
+
+const (
+	// EvOp applies one logical operation to the store under test.
+	EvOp EventKind = iota
+	// EvFault plans one disk fault a few I/O points into the future of
+	// the currently open backend.
+	EvFault
+	// EvRedoCrash queues a crash to be injected during the WAL redo of
+	// the next restart, whenever that restart happens.
+	EvRedoCrash
+)
+
+// OpKind is the logical operation of an EvOp event. Operands are
+// positional (reduced modulo the live element count at execution time), so
+// any subsequence of a valid trace is itself a valid trace — the property
+// the minimizer relies on.
+type OpKind uint8
+
+const (
+	// KInsertBefore inserts one element before a positionally chosen tag.
+	KInsertBefore OpKind = iota
+	// KInsertFirst bootstraps an empty document. The executor also
+	// rewrites any mutating op on an empty document into KInsertFirst.
+	KInsertFirst
+	// KDeleteElement removes both labels of a positionally chosen
+	// element (tombstone-leaving single-label deletes underneath).
+	KDeleteElement
+	// KDeleteSubtree removes a positionally chosen element with all its
+	// descendants.
+	KDeleteSubtree
+	// KLookup cross-checks Compare / Lookup / OrdinalLookup between the
+	// store and the oracle; it never mutates.
+	KLookup
+	// KBatch applies several insert-before ops as one ApplyBatch
+	// transaction (one WAL commit, all-or-nothing).
+	KBatch
+	numOpKinds
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case KInsertBefore:
+		return "insert-before"
+	case KInsertFirst:
+		return "insert-first"
+	case KDeleteElement:
+		return "delete-element"
+	case KDeleteSubtree:
+		return "delete-subtree"
+	case KLookup:
+		return "lookup"
+	case KBatch:
+		return "batch"
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// FaultKind is the disk fault class of an EvFault event.
+type FaultKind uint8
+
+const (
+	// FCrash cuts power at a future raw write point.
+	FCrash FaultKind = iota
+	// FTorn cuts power mid-write, persisting only the first half of the
+	// cut block.
+	FTorn
+	// FNoSpace fails one future write with ENOSPC semantics.
+	FNoSpace
+	// FTransient fails one future write with a retryable error.
+	FTransient
+	// FSyncFail fails one future fsync (with a transient-looking errno,
+	// to prove the fsyncgate contract ignores the errno).
+	FSyncFail
+	numFaultKinds
+)
+
+func (f FaultKind) String() string {
+	switch f {
+	case FCrash:
+		return "crash"
+	case FTorn:
+		return "torn"
+	case FNoSpace:
+		return "nospace"
+	case FTransient:
+		return "transient"
+	case FSyncFail:
+		return "syncfail"
+	}
+	return fmt.Sprintf("fault(%d)", uint8(f))
+}
+
+// Target-mode bits of Event.B for insert ops (bits 1-2; bit 0 picks the
+// start/end label of the target element). Adversarial mixes stamp the mode
+// into the event itself, so a minimized trace stays self-contained.
+const (
+	targetPositional = 0 // element A mod len(elems)
+	targetFront      = 1 // first element of the document (BKS-style front hammering)
+	targetBack       = 2 // most recently inserted element (bisection nesting)
+)
+
+// Event is one step of a trace. The whole struct is positional data: it
+// never references concrete LIDs or block numbers, so it stays valid when
+// events before it are removed.
+type Event struct {
+	Kind  EventKind `json:"k"`
+	Op    OpKind    `json:"op,omitempty"`
+	A     uint32    `json:"a,omitempty"` // positional operand (target element)
+	B     uint32    `json:"b,omitempty"` // side/mode bits, batch size
+	Fault FaultKind `json:"f,omitempty"`
+	Delay uint32    `json:"d,omitempty"` // fault: I/O points into the future; redo crash: redo write point
+	Torn  bool      `json:"torn,omitempty"`
+}
+
+// Mixes. Each mix is a weighted op-kind distribution plus the targeting
+// policy stamped into insert events.
+const (
+	MixMixed     = "mixed"      // balanced insert/delete/lookup/batch
+	MixChurn     = "churn"      // delete-heavy; repeatedly drains the document
+	MixAdvFront  = "adv-front"  // hammer insertions at the document front
+	MixAdvBisect = "adv-bisect" // always insert inside the newest element
+)
+
+// Mixes lists the supported operation mixes.
+func Mixes() []string {
+	return []string{MixMixed, MixChurn, MixAdvFront, MixAdvBisect}
+}
+
+type opWeight struct {
+	kind   OpKind
+	weight int
+	// fixedB, when >= 0, overrides the random B operand (adversarial
+	// targeting); bit 0 side, bits 1-2 target mode.
+	fixedB int
+}
+
+func mixWeights(mix string) ([]opWeight, error) {
+	switch mix {
+	case MixMixed:
+		return []opWeight{
+			{KInsertBefore, 45, -1},
+			{KDeleteElement, 12, -1},
+			{KDeleteSubtree, 8, -1},
+			{KLookup, 25, -1},
+			{KBatch, 10, -1},
+		}, nil
+	case MixChurn:
+		return []opWeight{
+			{KInsertBefore, 28, -1},
+			{KDeleteElement, 34, -1},
+			{KDeleteSubtree, 22, -1},
+			{KLookup, 10, -1},
+			{KBatch, 6, -1},
+		}, nil
+	case MixAdvFront:
+		// Insert before the first tag of the document, every time: the
+		// front gap shrinks monotonically, forcing relabels.
+		return []opWeight{
+			{KInsertBefore, 80, targetFront << 1},
+			{KDeleteElement, 5, -1},
+			{KLookup, 10, -1},
+			{KBatch, 5, -1},
+		}, nil
+	case MixAdvBisect:
+		// Insert before the start tag of the newest element: each insert
+		// bisects the most recently created gap, the classic worst case
+		// for fixed-length order labels.
+		return []opWeight{
+			{KInsertBefore, 85, targetBack << 1},
+			{KLookup, 10, -1},
+			{KDeleteSubtree, 5, -1},
+		}, nil
+	}
+	return nil, fmt.Errorf("sim: unknown mix %q (want one of %v)", mix, Mixes())
+}
+
+// GenTrace generates the event trace for cfg as a pure function of
+// (Seed, Mix, Ops, FaultRate): the same config always yields the same
+// trace, on any machine. Faults are interleaved between ops at FaultRate
+// per op slot; about one in seven planned faults is a redo-phase crash.
+func GenTrace(cfg Config) ([]Event, error) {
+	weights, err := mixWeights(cfg.Mix)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, w := range weights {
+		total += w.weight
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	evs := make([]Event, 0, cfg.Ops+cfg.Ops/8)
+	for ops := 0; ops < cfg.Ops; ops++ {
+		if rng.Float64() < cfg.FaultRate {
+			if rng.Intn(7) == 0 {
+				evs = append(evs, Event{
+					Kind:  EvRedoCrash,
+					Delay: uint32(rng.Intn(8)),
+					Torn:  rng.Intn(2) == 1,
+				})
+			} else {
+				f := FaultKind(rng.Intn(int(numFaultKinds)))
+				evs = append(evs, Event{
+					Kind:  EvFault,
+					Fault: f,
+					Delay: uint32(rng.Intn(40)),
+				})
+			}
+		}
+		pick := rng.Intn(total)
+		var w opWeight
+		for _, cand := range weights {
+			if pick < cand.weight {
+				w = cand
+				break
+			}
+			pick -= cand.weight
+		}
+		ev := Event{Kind: EvOp, Op: w.kind, A: rng.Uint32(), B: rng.Uint32()}
+		if w.fixedB >= 0 {
+			ev.B = uint32(w.fixedB)
+		}
+		evs = append(evs, ev)
+	}
+	return evs, nil
+}
+
+// TraceDigest is the SHA-256 of the canonical binary encoding of the
+// config identity and the event list: two runs with equal digests execute
+// the exact same schedule.
+func TraceDigest(cfg Config, trace []Event) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "boxsim/v1|%s|%s|%d|", cfg.Scheme, cfg.Mix, cfg.VerifyEvery)
+	var buf [16]byte
+	for _, ev := range trace {
+		buf[0] = byte(ev.Kind)
+		buf[1] = byte(ev.Op)
+		buf[2] = byte(ev.Fault)
+		buf[3] = 0
+		if ev.Torn {
+			buf[3] = 1
+		}
+		binary.LittleEndian.PutUint32(buf[4:], ev.A)
+		binary.LittleEndian.PutUint32(buf[8:], ev.B)
+		binary.LittleEndian.PutUint32(buf[12:], ev.Delay)
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TraceFile is the JSON artifact boxsim writes for a failing history (full
+// and minimized), and the input of replay mode.
+type TraceFile struct {
+	Version int     `json:"version"`
+	Config  Config  `json:"config"`
+	Events  []Event `json:"events"`
+}
+
+// SaveTrace writes a replayable trace artifact to path.
+func SaveTrace(path string, cfg Config, trace []Event) error {
+	data, err := json.MarshalIndent(TraceFile{Version: 1, Config: cfg, Events: trace}, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadTrace reads a trace artifact written by SaveTrace.
+func LoadTrace(path string) (Config, []Event, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	var tf TraceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return Config{}, nil, fmt.Errorf("sim: parse trace %s: %w", path, err)
+	}
+	if tf.Version != 1 {
+		return Config{}, nil, fmt.Errorf("sim: trace %s has unsupported version %d", path, tf.Version)
+	}
+	return tf.Config, tf.Events, nil
+}

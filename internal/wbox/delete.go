@@ -97,7 +97,7 @@ func (l *Labeler) DeleteSubtree(start, end order.LID) (err error) {
 	// removal drops live records but keeps boundary-leaf tombstones, so it
 	// can push the dead fraction past half — including the live == 0 case,
 	// where rebuildAll resets to the genuinely empty tree.
-	if l.dead >= l.live && l.dead > 0 {
+	if rebuildTriggered(l.dead, l.live) && l.dead > 0 {
 		return l.rebuildAll()
 	}
 	return nil

@@ -1,0 +1,24 @@
+package wbox
+
+// HookStrandEmptyTree re-introduces, when set, the PR-4
+// tombstone-stranded-empty-tree bug for harness validation: the dead >=
+// live global-rebuild trigger skips the live == 0 case, so deleting the
+// last live record leaves a tree of pure tombstones instead of rebuilding
+// to the genuinely empty tree — the exact defect the differential fuzzer
+// originally found (see delete_empty_test.go). Default off; only the
+// simulator's find-the-known-bug acceptance test flips it, to prove the
+// harness detects, minimizes, and replays the failure from its seed.
+// Never set it outside tests.
+var HookStrandEmptyTree = false
+
+// rebuildTriggered applies the dead >= live global-rebuild condition,
+// honoring the test hook that suppresses the live == 0 case.
+func rebuildTriggered(dead, live uint64) bool {
+	if dead < live {
+		return false
+	}
+	if HookStrandEmptyTree && live == 0 {
+		return false
+	}
+	return true
+}

@@ -371,7 +371,7 @@ func (l *Labeler) Delete(lid order.LID) (err error) {
 	}
 	l.live--
 	l.dead++
-	if l.dead >= l.live {
+	if rebuildTriggered(l.dead, l.live) {
 		return l.rebuildAll()
 	}
 	return nil
