@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment id: fig5 fig6 fig7 fig8 fig9 tquery tbulk tbits tcache tfan tblock tdurable tgroup snap all")
+		exp       = flag.String("exp", "all", "experiment id: fig5 fig6 fig7 fig8 fig9 tquery tbulk tbits tcache tfan tblock tdurable tgroup adv snap all")
 		jsonDir   = flag.String("json", ".", "directory BENCH_*.json snapshots are written to by -exp snap")
 		scale     = flag.Int("scale", 1, "workload scale factor (100 = the paper's sizes)")
 		blockSize = flag.Int("block", 8192, "block size in bytes")
@@ -110,6 +110,7 @@ func main() {
 		{"tblock", bench.BlockSizeSweep},
 		{"tdurable", bench.Durable},
 		{"tgroup", bench.Group},
+		{"adv", bench.Adv},
 		{"snap", func(w io.Writer, cfg bench.Config) error {
 			paths, err := bench.WriteBenchSnapshots(*jsonDir, cfg)
 			for _, p := range paths {

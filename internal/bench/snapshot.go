@@ -155,6 +155,7 @@ func WriteBenchSnapshots(dir string, cfg Config) ([]string, error) {
 		{"xmark", RunXMark},
 		{"durable", RunDurable},
 		{"group", RunGroup},
+		{"adv", RunAdversary},
 	}
 	var paths []string
 	for _, e := range exps {

@@ -146,8 +146,8 @@ func TestWriteBenchSnapshots(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(paths) != 5 {
-		t.Fatalf("wrote %d snapshots, want 5: %v", len(paths), paths)
+	if len(paths) != 6 {
+		t.Fatalf("wrote %d snapshots, want 6: %v", len(paths), paths)
 	}
 	sawWALGauge := false
 	for _, path := range paths {

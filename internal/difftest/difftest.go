@@ -190,6 +190,10 @@ func (e *Engine) insertFirst() error {
 
 func (e *Engine) insertBefore(s *script) error {
 	idx, end := e.target(s)
+	return e.insertBeforeAt(idx, end)
+}
+
+func (e *Engine) insertBeforeAt(idx int, end bool) error {
 	for _, w := range e.worlds {
 		at := w.tagAt(idx, end)
 		elem, err := w.st.InsertElementBefore(at)
@@ -238,6 +242,10 @@ func (e *Engine) insertSubtree(s *script) error {
 
 func (e *Engine) deleteElement(s *script) error {
 	idx, _ := e.target(s)
+	return e.deleteElementAt(idx)
+}
+
+func (e *Engine) deleteElementAt(idx int) error {
 	for _, w := range e.worlds {
 		elem := w.elems[idx]
 		if err := w.st.DeleteElement(elem); err != nil {
@@ -256,6 +264,10 @@ func (e *Engine) deleteElement(s *script) error {
 
 func (e *Engine) deleteSubtree(s *script) error {
 	idx, _ := e.target(s)
+	return e.deleteSubtreeAt(idx)
+}
+
+func (e *Engine) deleteSubtreeAt(idx int) error {
 	for _, w := range e.worlds {
 		elem := w.elems[idx]
 		if err := w.st.DeleteSubtree(elem); err != nil {
@@ -281,6 +293,10 @@ func (e *Engine) deleteSubtree(s *script) error {
 func (e *Engine) lookups(s *script) error {
 	idx, _ := e.target(s)
 	jdx, jend := e.target(s)
+	return e.lookupsAt(idx, jdx, jend)
+}
+
+func (e *Engine) lookupsAt(idx, jdx int, jend bool) error {
 	var wantOrd int64 = -1
 	for _, w := range e.worlds {
 		sp, err := w.st.LookupSpan(w.elems[idx])

@@ -75,6 +75,11 @@ func FuzzOps(f *testing.F) {
 	f.Add([]byte{0, 1, 0, 0, 2, 1, 1, 1, 1, 3, 0, 0, 1, 2, 2, 4, 0, 1, 2})
 	f.Add([]byte{0, 5, 9, 0, 0, 1, 3, 2, 7, 5, 3, 0, 1, 0, 1, 1, 2, 5, 1, 4, 4, 2})
 	f.Add([]byte{0, 3, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0})
+	// Promoted sim-minimizer shapes (also committed under testdata/fuzz):
+	// drain-to-empty-then-rebootstrap (the two-event tombstone-strand
+	// repro) and a full churn hysteresis cycle.
+	f.Add([]byte{1, 2, 0, 0, 1})
+	f.Add([]byte{0, 0, 0, 0, 0, 1, 0, 0, 2, 1, 2, 3, 0, 2, 0, 0, 2, 1, 0, 2, 0, 0, 0, 0, 0, 1, 2, 0, 0})
 	f.Fuzz(func(t *testing.T, script []byte) {
 		if len(script) > 4*maxScriptOps {
 			script = script[:4*maxScriptOps]

@@ -1,0 +1,169 @@
+package difftest
+
+import (
+	"fmt"
+
+	"boxes/internal/obs"
+	"boxes/internal/order"
+	"boxes/internal/workload"
+	"boxes/internal/xmlgen"
+)
+
+// Zoo runs adaptive workload sources (internal/workload) against all five
+// scheme worlds at once. The source observes the labels of a single pilot
+// world (worlds[0], W-BOX) and emits positional operations; each op is
+// then applied identically to every world, so the differential contract
+// of the byte-script harness — same logical script everywhere, oracle
+// equality and strict ledger conservation after every check point — holds
+// for adversarial, skewed and churning workloads too. (Byte scripts cannot
+// express these: they are capped at maxScriptOps and have no way to feed
+// the labeler's state back into the next operation.)
+type Zoo struct {
+	e *Engine
+	// docOrder maps start-tag document-order positions to element
+	// append-indices (the worlds' elems slices stay index-parallel).
+	docOrder []int
+}
+
+// NewZoo builds a fresh five-world engine and bulk-loads base into every
+// world (pass nil to start from an empty document).
+func NewZoo(base *xmlgen.Tree) (*Zoo, error) {
+	e, err := New()
+	if err != nil {
+		return nil, err
+	}
+	z := &Zoo{e: e}
+	if base == nil {
+		return z, nil
+	}
+	tags := base.TagStream()
+	for _, w := range e.worlds {
+		doc, err := w.st.Load(base)
+		if err != nil {
+			return nil, fmt.Errorf("difftest: %s: load base: %w", w.name, err)
+		}
+		lids := make([]order.LID, len(tags))
+		for i, tg := range tags {
+			if tg.Start {
+				lids[i] = doc.Elems[tg.Elem].Start
+			} else {
+				lids[i] = doc.Elems[tg.Elem].End
+			}
+		}
+		w.oracle.Load(lids)
+		w.elems = append(w.elems, doc.Elems...)
+	}
+	// Preorder element order is start-tag document order.
+	z.docOrder = make([]int, len(e.worlds[0].elems))
+	for i := range z.docOrder {
+		z.docOrder[i] = i
+	}
+	return z, nil
+}
+
+// Len implements workload.View.
+func (z *Zoo) Len() int { return len(z.docOrder) }
+
+// Label implements workload.View over the pilot world's labels.
+func (z *Zoo) Label(pos int) (order.Label, error) {
+	w := z.e.worlds[0]
+	return w.st.Lookup(w.elems[z.docOrder[pos]].Start)
+}
+
+// EndLabel implements workload.View for the pilot world's end tags.
+func (z *Zoo) EndLabel(pos int) (order.Label, error) {
+	w := z.e.worlds[0]
+	return w.st.Lookup(w.elems[z.docOrder[pos]].End)
+}
+
+// Apply performs one positional operation in every world (Pos clamped
+// into range; Insert on an empty document bootstraps).
+func (z *Zoo) Apply(op workload.Op) error {
+	n := len(z.docOrder)
+	pos := op.Pos
+	if n > 0 {
+		pos %= n
+		if pos < 0 {
+			pos += n
+		}
+	}
+	switch op.Kind {
+	case workload.Insert:
+		if n == 0 {
+			if err := z.e.insertFirst(); err != nil {
+				return err
+			}
+			z.docOrder = append(z.docOrder[:0], len(z.e.worlds[0].elems)-1)
+			return nil
+		}
+		j := z.docOrder[pos]
+		if err := z.e.insertBeforeAt(j, false); err != nil {
+			return err
+		}
+		ni := len(z.e.worlds[0].elems) - 1
+		z.docOrder = append(z.docOrder, 0)
+		copy(z.docOrder[pos+1:], z.docOrder[pos:])
+		z.docOrder[pos] = ni
+		return nil
+	case workload.Delete:
+		if n == 0 {
+			return nil
+		}
+		j := z.docOrder[pos]
+		if err := z.e.deleteElementAt(j); err != nil {
+			return err
+		}
+		z.docOrder = append(z.docOrder[:pos], z.docOrder[pos+1:]...)
+		for i, v := range z.docOrder {
+			if v > j {
+				z.docOrder[i] = v - 1
+			}
+		}
+		return nil
+	case workload.Lookup:
+		if n == 0 {
+			return nil
+		}
+		j := z.docOrder[pos]
+		return z.e.lookupsAt(j, j, false)
+	}
+	return fmt.Errorf("difftest: unknown workload op kind %d", op.Kind)
+}
+
+// Run pulls nops operations from src, applies each to every world, and
+// verifies all worlds (oracle equality, cross-world counts, strict ledger
+// conservation) every verifyEvery ops and at the end, finishing with the
+// deep structural invariant check.
+func (z *Zoo) Run(src workload.Source, nops, verifyEvery int) error {
+	for i := 0; i < nops; i++ {
+		op, err := src.Next(z)
+		if err != nil {
+			return fmt.Errorf("difftest: %s: op %d: %w", src.Name(), i, err)
+		}
+		if err := z.Apply(op); err != nil {
+			return fmt.Errorf("difftest: %s: op %d (%s @%d): %w", src.Name(), i, op.Kind, op.Pos, err)
+		}
+		if verifyEvery > 0 && (i+1)%verifyEvery == 0 {
+			if err := z.e.verify(); err != nil {
+				return fmt.Errorf("difftest: %s: after op %d: %w", src.Name(), i, err)
+			}
+		}
+	}
+	if err := z.e.verify(); err != nil {
+		return fmt.Errorf("difftest: %s: final verify: %w", src.Name(), err)
+	}
+	return z.e.finalCheck()
+}
+
+// Counter reads a metrics counter from the named scheme world's registry
+// (0 when the scheme is not part of the matrix), letting tests assert
+// structural events — e.g. that churn actually reached the W-BOX global
+// rebuild.
+func (z *Zoo) Counter(scheme string, c obs.Counter) uint64 {
+	for _, w := range z.e.worlds {
+		if w.name == scheme {
+			return w.st.MetricsRegistry().Counter(c)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,86 @@
+package difftest
+
+import (
+	"testing"
+
+	"boxes/internal/obs"
+	"boxes/internal/workload"
+	"boxes/internal/xmlgen"
+)
+
+// TestZooWorkloads runs every workload-zoo source against all five scheme
+// worlds over each document shape: the BKS adversaries (front-packing and
+// recursive bisection, adapting to the pilot world's labels), the zipfian
+// skewed mix, steady-state churn, and the uniform control. Every world is
+// checked against its oracle with strict ledger conservation at each
+// verify point, so a pass means the paper's "any insertion sequence"
+// claim survives the adversarial corner for all schemes at once.
+func TestZooWorkloads(t *testing.T) {
+	shapes := []struct {
+		name string
+		tree *xmlgen.Tree
+	}{
+		{"two-level", xmlgen.TwoLevel(48)},
+		{"deep-chain", xmlgen.DeepChain(32)},
+		{"fanout", xmlgen.Fanout(4, 3)},
+		{"xmark", xmlgen.XMark(40, 7)},
+	}
+	sources := []func() workload.Source{
+		func() workload.Source { return workload.NewFrontPack(8) },
+		func() workload.Source { return workload.NewBisect(8) },
+		func() workload.Source { return workload.NewZipfMix(11, 1.2, 40, 15) },
+		func() workload.Source { return workload.NewChurn(13, 24) },
+		func() workload.Source { return workload.NewUniform(17) },
+	}
+	for _, sh := range shapes {
+		for _, mk := range sources {
+			src := mk()
+			t.Run(sh.name+"/"+src.Name(), func(t *testing.T) {
+				z, err := NewZoo(sh.tree)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := z.Run(src, 120, 8); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestZooFromEmptyDocument exercises the bootstrap path: churn starting
+// with no base document must build up, drain, and re-bootstrap cleanly.
+func TestZooFromEmptyDocument(t *testing.T) {
+	z, err := NewZoo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Run(workload.NewChurn(3, 6), 150, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChurnReachesWBoxRebuild is the steady-state churn regression: at a
+// fixed document size, every delete leaves tombstones behind while the
+// live count stays flat, so the dead >= live predicate must eventually
+// fire the W-BOX global rebuild. The test asserts — via the cost ledger's
+// rebuild counter — that the trigger was actually reached, and verifies
+// after every single op, so the schemes stay oracle-equal through the
+// rebuild itself.
+func TestChurnReachesWBoxRebuild(t *testing.T) {
+	z, err := NewZoo(xmlgen.TwoLevel(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 24 live elements = 48 live labels; dead grows by 2 per element
+	// delete, so ~48 churn deletes (~96 balanced ops) reach dead >= live.
+	// 300 ops leave comfortable margin (and cover repeat triggers).
+	if err := z.Run(workload.NewChurn(5, 24), 300, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := z.Counter("wbox", obs.CtrWBoxRebuilds); got == 0 {
+		t.Fatalf("steady-state churn never reached the W-BOX global rebuild (rebuild counter = 0)")
+	} else {
+		t.Logf("W-BOX global rebuilds under churn: %d", got)
+	}
+}

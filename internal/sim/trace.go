@@ -146,12 +146,22 @@ const (
 	MixChurn     = "churn"      // delete-heavy; repeatedly drains the document
 	MixAdvFront  = "adv-front"  // hammer insertions at the document front
 	MixAdvBisect = "adv-bisect" // always insert inside the newest element
+	MixZipf      = "zipf"       // zipfian-skewed positions: a hot front region
+	MixSteady    = "steady"     // 1:1 insert/delete at steady state (tombstone churn)
 )
 
 // Mixes lists the supported operation mixes.
 func Mixes() []string {
-	return []string{MixMixed, MixChurn, MixAdvFront, MixAdvBisect}
+	return []string{MixMixed, MixChurn, MixAdvFront, MixAdvBisect, MixZipf, MixSteady}
 }
+
+// Zipf parameters of MixZipf: skew s = 1.2 over 2^20 ranks, so rank 0 (the
+// document front after positional reduction) absorbs most operations while
+// the tail still gets occasional hits.
+const (
+	zipfSkew  = 1.2
+	zipfRange = 1 << 20
+)
 
 type opWeight struct {
 	kind   OpKind
@@ -197,6 +207,28 @@ func mixWeights(mix string) ([]opWeight, error) {
 			{KLookup, 10, -1},
 			{KDeleteSubtree, 5, -1},
 		}, nil
+	case MixZipf:
+		// The mixed distribution, but positional operands are drawn
+		// zipfian (see zipfSkew): after modular reduction the low
+		// positions form a hot region absorbing most updates, the skewed
+		// regime of internal/workload.ZipfMix under fault schedules.
+		return []opWeight{
+			{KInsertBefore, 40, -1},
+			{KDeleteElement, 15, -1},
+			{KLookup, 35, -1},
+			{KBatch, 10, -1},
+		}, nil
+	case MixSteady:
+		// Steady-state churn: balanced single-element inserts and deletes
+		// hold the document at a roughly fixed size while every delete
+		// leaves tombstones, the regime that drives the W-BOX dead >= live
+		// global-rebuild path (no subtree deletes — those drain the
+		// document instead of churning it).
+		return []opWeight{
+			{KInsertBefore, 40, -1},
+			{KDeleteElement, 40, -1},
+			{KLookup, 20, -1},
+		}, nil
 	}
 	return nil, fmt.Errorf("sim: unknown mix %q (want one of %v)", mix, Mixes())
 }
@@ -215,6 +247,10 @@ func GenTrace(cfg Config) ([]Event, error) {
 		total += w.weight
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	var zipf *rand.Zipf
+	if cfg.Mix == MixZipf {
+		zipf = rand.NewZipf(rng, zipfSkew, 1, zipfRange)
+	}
 	evs := make([]Event, 0, cfg.Ops+cfg.Ops/8)
 	for ops := 0; ops < cfg.Ops; ops++ {
 		if rng.Float64() < cfg.FaultRate {
@@ -243,6 +279,11 @@ func GenTrace(cfg Config) ([]Event, error) {
 			pick -= cand.weight
 		}
 		ev := Event{Kind: EvOp, Op: w.kind, A: rng.Uint32(), B: rng.Uint32()}
+		if zipf != nil {
+			// The skew is baked into the event operand, so a minimized
+			// subsequence keeps its hot-region shape.
+			ev.A = uint32(zipf.Uint64())
+		}
 		if w.fixedB >= 0 {
 			ev.B = uint32(w.fixedB)
 		}

@@ -1,0 +1,205 @@
+package workload
+
+import "fmt"
+
+// The BKS adversaries implement the two strategies of the online-labeling
+// lower-bound constructions (Bulánek–Koucký–Saks; Babka et al.): always
+// insert into the currently *tightest* region of label space, so any
+// scheme that leaves gaps proportional to label distance is forced to
+// redistribute again and again. Unlike the static adv-front/adv-bisect
+// trace mixes in internal/sim, these are adaptive: every step re-reads the
+// labels the scheme actually assigned and re-aims.
+//
+// Both adversaries reduce to a minimal insertion-gap scan. Inserting
+// before element p lands the new start/end labels between start(p) and
+// the label immediately preceding it — the previous element's end tag
+// when p follows a closed sibling, or its start tag when p is its first
+// child — so insertionGap measures exactly the room the scheme has left
+// there. Hammering the minimal gap subsumes recursive bisection: after
+// the adversary inserts into the minimal pair, the new minimum in that
+// region is one of the two halves it just created, so subsequent steps
+// keep halving the same interval until the scheme redistributes — at
+// which point the scan re-aims at wherever the tightest gap moved.
+
+// insertionGap returns the label-space room an insert-before at position
+// pos (>= 1) would land in: start(pos) minus its observable predecessor
+// label (end(pos-1) when that closed before pos, else start(pos-1)). ok
+// is false when a needed label is unobservable (naive-k overflow).
+func insertionGap(v View, pos int) (gap uint64, ok bool, err error) {
+	s, okS, err := label(v, pos)
+	if err != nil || !okS {
+		return 0, false, err
+	}
+	prevS, okP, err := label(v, pos-1)
+	if err != nil || !okP {
+		return 0, false, err
+	}
+	pred := prevS
+	prevE, okE, err := endLabel(v, pos-1)
+	if err != nil {
+		return 0, false, err
+	}
+	if okE && prevE < s && prevE > pred {
+		pred = prevE
+	}
+	if s <= pred {
+		return 0, false, nil
+	}
+	return s - pred, true, nil
+}
+
+// closerTo reports whether position a is strictly closer to center than b
+// (center < 0 disables the preference, keeping the first minimum).
+func closerTo(center, a, b int) bool {
+	if center < 0 {
+		return false
+	}
+	da, db := a-center, b-center
+	if da < 0 {
+		da = -da
+	}
+	if db < 0 {
+		db = -db
+	}
+	return da < db
+}
+
+// minGapPos finds the position in (lo, hi] with the smallest insertion
+// gap, breaking ties toward center (median bisection; a freshly loaded
+// document has all gaps equal, and starting at the middle is what
+// distinguishes recursive bisection from front packing). ok is false when
+// no gap was measurable.
+func minGapPos(v View, lo, hi, center int) (bestPos int, ok bool, err error) {
+	bestGap := uint64(0)
+	for pos := lo + 1; pos <= hi; pos++ {
+		gap, measurable, err := insertionGap(v, pos)
+		if err != nil {
+			return 0, false, err
+		}
+		if !measurable {
+			continue
+		}
+		if !ok || gap < bestGap || (gap == bestGap && closerTo(center, pos, bestPos)) {
+			bestGap, bestPos, ok = gap, pos, true
+		}
+	}
+	return bestPos, ok, nil
+}
+
+// FrontPack is the front-packing BKS adversary: it watches a fixed-size
+// window at the front of the document and always inserts into the window's
+// minimal insertion gap. The front of label space is squeezed
+// monotonically; schemes that cannot rebalance away from the front pay
+// for every insert.
+type FrontPack struct {
+	window int
+}
+
+// NewFrontPack returns a front-packing adversary probing the first window
+// elements (window must be at least 2).
+func NewFrontPack(window int) *FrontPack {
+	if window < 2 {
+		window = 2
+	}
+	return &FrontPack{window: window}
+}
+
+func (f *FrontPack) Name() string { return fmt.Sprintf("bks-front-%d", f.window) }
+
+func (f *FrontPack) Next(v View) (Op, error) {
+	n := v.Len()
+	if n < 2 {
+		return Op{Kind: Insert, Pos: 0}, nil
+	}
+	hi := f.window
+	if hi > n-1 {
+		hi = n - 1
+	}
+	pos, ok, err := minGapPos(v, 0, hi, -1)
+	if err != nil {
+		return Op{}, err
+	}
+	if !ok {
+		return Op{Kind: Insert, Pos: 0}, nil
+	}
+	return Op{Kind: Insert, Pos: pos}, nil
+}
+
+// Bisect is the recursive-bisection BKS adversary: a two-level scan over
+// the whole document (a coarse strided pass over start labels to locate
+// the densest region, then a fine insertion-gap pass inside it) keeps
+// each step at O(samples) probes while still landing in the tightest
+// label gap it can see, anywhere in the document.
+type Bisect struct {
+	samples int
+}
+
+// NewBisect returns a bisection adversary using about samples probes per
+// pass (samples must be at least 2).
+func NewBisect(samples int) *Bisect {
+	if samples < 2 {
+		samples = 2
+	}
+	return &Bisect{samples: samples}
+}
+
+func (b *Bisect) Name() string { return fmt.Sprintf("bks-bisect-%d", b.samples) }
+
+func (b *Bisect) Next(v View) (Op, error) {
+	n := v.Len()
+	if n < 2 {
+		return Op{Kind: Insert, Pos: 0}, nil
+	}
+	lo, hi := 0, n-1
+	stride := n / b.samples
+	if stride > 1 {
+		// Coarse pass: find the strided start-label pair packing its
+		// element span into the least label space.
+		segLo, ok, err := b.coarse(v, n, stride)
+		if err != nil {
+			return Op{}, err
+		}
+		if ok {
+			lo = segLo
+			hi = segLo + stride
+			if hi > n-1 {
+				hi = n - 1
+			}
+		}
+	}
+	pos, ok, err := minGapPos(v, lo, hi, n/2)
+	if err != nil {
+		return Op{}, err
+	}
+	if !ok {
+		return Op{Kind: Insert, Pos: 0}, nil
+	}
+	return Op{Kind: Insert, Pos: pos}, nil
+}
+
+// coarse scans start labels at positions 0, stride, 2*stride, ... and
+// returns the left position of the pair with the smallest label distance
+// (the densest segment), breaking ties toward the document middle.
+func (b *Bisect) coarse(v View, n, stride int) (segLo int, ok bool, err error) {
+	prev, havePrev := uint64(0), false
+	prevPos := 0
+	bestGap := uint64(0)
+	for pos := 0; pos < n; pos += stride {
+		l, readable, err := label(v, pos)
+		if err != nil {
+			return 0, false, err
+		}
+		if !readable {
+			havePrev = false
+			continue
+		}
+		if havePrev && l > prev {
+			gap := l - prev
+			if !ok || gap < bestGap || (gap == bestGap && closerTo(n/2, prevPos, segLo)) {
+				bestGap, segLo, ok = gap, prevPos, true
+			}
+		}
+		prev, prevPos, havePrev = l, pos, true
+	}
+	return segLo, ok, nil
+}

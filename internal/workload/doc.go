@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"boxes/internal/order"
+	"boxes/internal/xmlgen"
+)
+
+// Doc adapts one order.Labeler to the zoo: it tracks the live elements in
+// start-tag document order (the coordinate system of Op.Pos) and
+// implements View over their current labels, so an adaptive Source can
+// attack the labeler directly.
+type Doc struct {
+	l     order.Labeler
+	elems []order.ElemLIDs // start-tag document order
+}
+
+// NewDoc wraps an empty labeler.
+func NewDoc(l order.Labeler) *Doc { return &Doc{l: l} }
+
+// Load bulk-loads tree into the labeler (which must be empty). Preorder
+// element order is start-tag document order, so the element slice maps
+// positions directly.
+func (d *Doc) Load(tree *xmlgen.Tree) error {
+	elems, err := d.l.BulkLoad(tree.TagStream())
+	if err != nil {
+		return err
+	}
+	d.elems = elems
+	return nil
+}
+
+// Len returns the number of live elements.
+func (d *Doc) Len() int { return len(d.elems) }
+
+// Label returns the current label of the pos-th element's start tag.
+func (d *Doc) Label(pos int) (order.Label, error) {
+	return d.l.Lookup(d.elems[pos].Start)
+}
+
+// EndLabel returns the current label of the pos-th element's end tag.
+func (d *Doc) EndLabel(pos int) (order.Label, error) {
+	return d.l.Lookup(d.elems[pos].End)
+}
+
+// Elems exposes the live elements in document order (the Doc's own
+// storage; callers must not modify it).
+func (d *Doc) Elems() []order.ElemLIDs { return d.elems }
+
+// Apply performs one positional operation. An Insert on an empty document
+// becomes the bootstrap insert; Pos is clamped into range so any source
+// output is applicable.
+func (d *Doc) Apply(op Op) error {
+	n := len(d.elems)
+	pos := op.Pos
+	if n > 0 {
+		pos %= n
+		if pos < 0 {
+			pos += n
+		}
+	}
+	switch op.Kind {
+	case Insert:
+		if n == 0 {
+			e, err := d.l.InsertFirstElement()
+			if err != nil {
+				return fmt.Errorf("workload: bootstrap insert: %w", err)
+			}
+			d.elems = append(d.elems, e)
+			return nil
+		}
+		e, err := d.l.InsertElementBefore(d.elems[pos].Start)
+		if err != nil {
+			return fmt.Errorf("workload: insert before element %d: %w", pos, err)
+		}
+		// The new element's labels precede elems[pos].Start and follow
+		// every earlier start tag, so it occupies position pos.
+		d.elems = append(d.elems, order.ElemLIDs{})
+		copy(d.elems[pos+1:], d.elems[pos:])
+		d.elems[pos] = e
+		return nil
+	case Delete:
+		if n == 0 {
+			return nil
+		}
+		e := d.elems[pos]
+		if err := d.l.Delete(e.Start); err != nil {
+			return fmt.Errorf("workload: delete start of element %d: %w", pos, err)
+		}
+		if err := d.l.Delete(e.End); err != nil {
+			return fmt.Errorf("workload: delete end of element %d: %w", pos, err)
+		}
+		d.elems = append(d.elems[:pos], d.elems[pos+1:]...)
+		return nil
+	case Lookup:
+		if n == 0 {
+			return nil
+		}
+		if _, err := d.l.Lookup(d.elems[pos].Start); err != nil && !errors.Is(err, order.ErrLabelOverflow) {
+			return fmt.Errorf("workload: lookup element %d: %w", pos, err)
+		}
+		return nil
+	}
+	return fmt.Errorf("workload: unknown op kind %d", op.Kind)
+}
+
+// Run pulls nops operations from src and applies them to d. When wrap is
+// non-nil it is called for every op with a closure performing it, so
+// callers can meter or bracket specific kinds (benchmarks time inserts
+// through their Recorder this way); a nil wrap applies ops directly.
+func Run(d *Doc, src Source, nops int, wrap func(op Op, apply func() error) error) error {
+	for i := 0; i < nops; i++ {
+		op, err := src.Next(d)
+		if err != nil {
+			return fmt.Errorf("workload: %s: op %d: %w", src.Name(), i, err)
+		}
+		apply := func() error { return d.Apply(op) }
+		if wrap != nil {
+			err = wrap(op, apply)
+		} else {
+			err = apply()
+		}
+		if err != nil {
+			return fmt.Errorf("workload: %s: op %d (%s @%d): %w", src.Name(), i, op.Kind, op.Pos, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package workload_test
+
+import (
+	"testing"
+
+	"boxes/internal/order"
+	"boxes/internal/pager"
+	"boxes/internal/wbox"
+	"boxes/internal/workload"
+	"boxes/internal/xmlgen"
+)
+
+func newWBox(t *testing.T) order.Labeler {
+	t.Helper()
+	p, err := wbox.NewParams(512, wbox.Basic, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := wbox.New(pager.NewMemStore(512), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// checkDocOrder asserts the Doc's tracked element order matches the
+// labeler's label order: successive start tags must carry strictly
+// increasing labels, and the label count must be twice the element count.
+func checkDocOrder(t *testing.T, d *workload.Doc, l order.Labeler) {
+	t.Helper()
+	if got, want := l.Count(), uint64(2*d.Len()); got != want {
+		t.Fatalf("labeler holds %d labels, doc tracks %d elements (want %d labels)", got, d.Len(), want)
+	}
+	prev := order.Label(0)
+	for i := 0; i < d.Len(); i++ {
+		lab, err := d.Label(i)
+		if err != nil {
+			t.Fatalf("label of element %d: %v", i, err)
+		}
+		if i > 0 && lab <= prev {
+			t.Fatalf("doc order broken at element %d: label %d <= %d", i, lab, prev)
+		}
+		prev = lab
+	}
+}
+
+// TestDocDrivesLabeler runs every zoo source against a real W-BOX labeler
+// through the Doc adapter and checks the positional bookkeeping stays
+// consistent with the labels the scheme actually assigned.
+func TestDocDrivesLabeler(t *testing.T) {
+	sources := []func() workload.Source{
+		func() workload.Source { return workload.NewFrontPack(12) },
+		func() workload.Source { return workload.NewBisect(12) },
+		func() workload.Source { return workload.NewZipfMix(21, 1.4, 50, 15) },
+		func() workload.Source { return workload.NewChurn(23, 20) },
+		func() workload.Source { return workload.NewUniform(25) },
+	}
+	for _, mk := range sources {
+		src := mk()
+		t.Run(src.Name(), func(t *testing.T) {
+			l := newWBox(t)
+			d := workload.NewDoc(l)
+			if err := d.Load(xmlgen.TwoLevel(32)); err != nil {
+				t.Fatal(err)
+			}
+			steps := 0
+			err := workload.Run(d, src, 200, func(op workload.Op, apply func() error) error {
+				steps++
+				return apply()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if steps != 200 {
+				t.Fatalf("wrap saw %d ops, want 200", steps)
+			}
+			checkDocOrder(t, d, l)
+			if err := l.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDocBootstrapsFromEmpty drives churn from a completely empty labeler.
+func TestDocBootstrapsFromEmpty(t *testing.T) {
+	l := newWBox(t)
+	d := workload.NewDoc(l)
+	if err := workload.Run(d, workload.NewChurn(31, 8), 200, nil); err != nil {
+		t.Fatal(err)
+	}
+	checkDocOrder(t, d, l)
+}
+
+// TestBisectConcentratesInserts is the behavioral contract of the BKS
+// adversary: against a real scheme, its insertion points must concentrate
+// (it keeps re-attacking the tightest region) where the uniform control
+// spreads out. We measure concentration as the largest number of inserts
+// landing between one pair of originally adjacent base elements.
+func TestBisectConcentratesInserts(t *testing.T) {
+	concentration := func(src workload.Source) int {
+		l := newWBox(t)
+		d := workload.NewDoc(l)
+		if err := d.Load(xmlgen.TwoLevel(64)); err != nil {
+			t.Fatal(err)
+		}
+		base := make(map[order.LID]bool, 64)
+		for _, e := range d.Elems() {
+			base[e.Start] = true
+		}
+		if err := workload.Run(d, src, 100, nil); err != nil {
+			t.Fatal(err)
+		}
+		best, cur := 0, 0
+		for i := 0; i < d.Len(); i++ {
+			if base[d.Elems()[i].Start] {
+				cur = 0
+				continue
+			}
+			cur++
+			if cur > best {
+				best = cur
+			}
+		}
+		return best
+	}
+	adv := concentration(workload.NewBisect(16))
+	uni := concentration(workload.NewUniform(3))
+	if adv < 2*uni || adv < 10 {
+		t.Fatalf("bisect adversary is not concentrating: max run %d inserts vs uniform %d", adv, uni)
+	}
+	t.Logf("max insert run between adjacent base elements: bisect %d, uniform %d", adv, uni)
+}

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ZipfMix is a skewed read/write mix: operation positions follow a zipfian
+// rank distribution (rank 0 = document front), so a tunable fraction of
+// the document absorbs most of the traffic — the hot-spot regime real
+// document stores see, between the uniform control and the BKS attacks.
+type ZipfMix struct {
+	name      string
+	rng       *rand.Rand
+	zipf      *rand.Zipf
+	insertPct int
+	deletePct int
+}
+
+// NewZipfMix returns a zipfian mix with the given skew (s > 1; larger is
+// more skewed) and operation percentages (the remainder are lookups).
+func NewZipfMix(seed int64, skew float64, insertPct, deletePct int) *ZipfMix {
+	if skew <= 1 {
+		skew = 1.01
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &ZipfMix{
+		name:      fmt.Sprintf("zipf-s%.2f", skew),
+		rng:       rng,
+		zipf:      rand.NewZipf(rng, skew, 1, 1<<20),
+		insertPct: insertPct,
+		deletePct: deletePct,
+	}
+}
+
+func (z *ZipfMix) Name() string { return z.name }
+
+func (z *ZipfMix) Next(v View) (Op, error) {
+	n := v.Len()
+	pos := int(z.zipf.Uint64())
+	if n > 0 {
+		pos %= n
+	} else {
+		pos = 0
+	}
+	p := z.rng.Intn(100)
+	switch {
+	case n < 2 || p < z.insertPct:
+		return Op{Kind: Insert, Pos: pos}, nil
+	case p < z.insertPct+z.deletePct:
+		return Op{Kind: Delete, Pos: pos}, nil
+	default:
+		return Op{Kind: Lookup, Pos: pos}, nil
+	}
+}
+
+// Churn holds the document around a fixed size with equal inserts and
+// deletes over time, oscillating between target and target/2 with
+// hysteresis: a burst of uniform deletes down to the low-water mark, then
+// a burst of uniform inserts back up. The delete bursts matter — every
+// tombstoning delete raises the dead count while nothing rewrites leaves,
+// so the W-BOX dead >= live global-rebuild predicate is provably crossed
+// once a burst removes a third of the live labels (1:1 alternation never
+// gets there: insert-driven leaf splits compact tombstones as fast as
+// deletes create them).
+type Churn struct {
+	rng      *rand.Rand
+	target   int
+	low      int
+	deleting bool
+}
+
+// NewChurn returns a steady-state churn source around target elements
+// (target must be at least 4).
+func NewChurn(seed int64, target int) *Churn {
+	if target < 4 {
+		target = 4
+	}
+	return &Churn{rng: rand.New(rand.NewSource(seed)), target: target, low: target / 2}
+}
+
+func (c *Churn) Name() string { return fmt.Sprintf("churn-%d", c.target) }
+
+func (c *Churn) Next(v View) (Op, error) {
+	n := v.Len()
+	if n == 0 {
+		c.deleting = false
+		return Op{Kind: Insert, Pos: 0}, nil
+	}
+	if c.deleting && n <= c.low {
+		c.deleting = false
+	} else if !c.deleting && n >= c.target {
+		c.deleting = true
+	}
+	if c.deleting {
+		return Op{Kind: Delete, Pos: c.rng.Intn(n)}, nil
+	}
+	return Op{Kind: Insert, Pos: c.rng.Intn(n)}, nil
+}
+
+// Uniform is the seeded uniform-insert control: every insertion point is
+// drawn uniformly over the document. The adversary gates compare each
+// scheme's amortized cost under BKS against this baseline.
+type Uniform struct {
+	rng *rand.Rand
+}
+
+// NewUniform returns a uniform insert-only source.
+func NewUniform(seed int64) *Uniform {
+	return &Uniform{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (u *Uniform) Name() string { return "uniform" }
+
+func (u *Uniform) Next(v View) (Op, error) {
+	n := v.Len()
+	if n == 0 {
+		return Op{Kind: Insert, Pos: 0}, nil
+	}
+	return Op{Kind: Insert, Pos: u.rng.Intn(n)}, nil
+}

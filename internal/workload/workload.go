@@ -1,0 +1,115 @@
+// Package workload is the adversarial workload zoo: seeded generators for
+// the insertion/deletion/lookup sequences the labeling schemes are tested
+// and benchmarked under. Beyond the benign workloads of the paper's
+// Section 7 (XMark build-up, uniform scattered inserts), the zoo produces
+//
+//   - adaptive BKS adversaries in the style of the Bulánek–Koucký–Saks
+//     online-labeling lower bounds: each insertion point is chosen from
+//     the labeler's *observable state* (its current labels), hammering the
+//     minimal label gap so fixed-gap schemes are forced into Ω(log²)
+//     relabeling while the BOX schemes must hold their amortized bounds;
+//   - zipfian-skewed lookup/update mixes with a tunable skew parameter;
+//   - steady-state churn (equal insert/delete around a fixed size), the
+//     regime that drives tombstone accumulation into the dead >= live
+//     global-rebuild path;
+//   - a seeded uniform-insert control for ratio baselines.
+//
+// A Source is deliberately decoupled from any particular store: it sees
+// the document only through the View interface (element count plus the
+// current label of each element's start tag, in document order) and emits
+// positional Ops. The same source therefore drives a raw order.Labeler
+// (internal/bench, via Doc), the five-scheme differential harness
+// (internal/difftest), and the crash-point sweep (internal/crashmatrix).
+// Sources are pure functions of their seed and the observed labels, so a
+// run is replayable whenever the underlying store is deterministic.
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"boxes/internal/order"
+)
+
+// Kind is the logical operation class of an Op.
+type Kind uint8
+
+const (
+	// Insert inserts a new element immediately before the start tag of
+	// the element at Pos (on an empty document: the bootstrap insert).
+	Insert Kind = iota
+	// Delete removes the element at Pos (its start/end label pair;
+	// descendants are kept, as in a tag-level element delete).
+	Delete
+	// Lookup probes the label at Pos and must not mutate.
+	Lookup
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	case Lookup:
+		return "lookup"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Op is one positional operation: Pos counts elements in start-tag
+// document order, so the same Op means the same logical mutation in every
+// scheme world applying it.
+type Op struct {
+	Kind Kind
+	Pos  int
+}
+
+// View is the labeler state a Source may observe: the adversaries adapt to
+// exactly what the paper's model lets an adversary see — the current label
+// values — and nothing else (no scheme internals).
+type View interface {
+	// Len returns the number of live elements.
+	Len() int
+	// Label returns the current label of the start tag of the pos-th
+	// element in document order. Schemes whose labels can outgrow 64 bits
+	// (naive-k) may return order.ErrLabelOverflow; sources treat such a
+	// label as unobservable rather than failing.
+	Label(pos int) (order.Label, error)
+	// EndLabel is Label for the element's end tag (same overflow
+	// contract). The adversaries need it to measure true insertion gaps:
+	// the label immediately preceding a sibling's start tag is the
+	// previous sibling's END tag, not its start tag.
+	EndLabel(pos int) (order.Label, error)
+}
+
+// Source produces the next operation given the observable state.
+type Source interface {
+	Name() string
+	Next(v View) (Op, error)
+}
+
+// label reads a start-tag label, mapping order.ErrLabelOverflow to
+// ok=false so gap scans skip pairs they cannot measure.
+func label(v View, pos int) (order.Label, bool, error) {
+	l, err := v.Label(pos)
+	if err != nil {
+		if errors.Is(err, order.ErrLabelOverflow) {
+			return 0, false, nil
+		}
+		return 0, false, fmt.Errorf("workload: label of element %d: %w", pos, err)
+	}
+	return l, true, nil
+}
+
+// endLabel is label for the end tag.
+func endLabel(v View, pos int) (order.Label, bool, error) {
+	l, err := v.EndLabel(pos)
+	if err != nil {
+		if errors.Is(err, order.ErrLabelOverflow) {
+			return 0, false, nil
+		}
+		return 0, false, fmt.Errorf("workload: end label of element %d: %w", pos, err)
+	}
+	return l, true, nil
+}

@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"testing"
+
+	"boxes/internal/order"
+)
+
+// fakeView is a View over fixed start/end label slices; labels equal to 0
+// (or missing end entries) are reported as overflowed (unobservable).
+type fakeView struct {
+	starts []order.Label
+	ends   []order.Label
+}
+
+func (f fakeView) Len() int { return len(f.starts) }
+
+func (f fakeView) Label(pos int) (order.Label, error) {
+	if f.starts[pos] == 0 {
+		return 0, order.ErrLabelOverflow
+	}
+	return f.starts[pos], nil
+}
+
+func (f fakeView) EndLabel(pos int) (order.Label, error) {
+	if pos >= len(f.ends) || f.ends[pos] == 0 {
+		return 0, order.ErrLabelOverflow
+	}
+	return f.ends[pos], nil
+}
+
+func TestFrontPackTargetsWindowMinGap(t *testing.T) {
+	// Insertion gaps (start minus the preceding end) inside the window are
+	// 80, 5, 20; the far tighter gap at position 5 (312-310 = 2) lies
+	// outside the window and must be ignored.
+	v := fakeView{
+		starts: []order.Label{10, 100, 145, 200, 300, 312},
+		ends:   []order.Label{20, 140, 180, 260, 310, 400},
+	}
+	src := NewFrontPack(3)
+	op, err := src.Next(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Kind != Insert || op.Pos != 2 {
+		t.Fatalf("front-pack chose %s @%d, want insert @2", op.Kind, op.Pos)
+	}
+}
+
+func TestBisectTargetsGlobalMinGap(t *testing.T) {
+	// Starts are uniform at coarse resolution, so the strided pass
+	// tie-breaks toward the middle segment, where the fine pass finds the
+	// genuinely tightest insertion gap (506-504 = 2) at position 5.
+	v := fakeView{
+		starts: []order.Label{100, 200, 300, 400, 500, 506, 700, 800},
+		ends:   []order.Label{110, 210, 310, 410, 504, 510, 710, 810},
+	}
+	src := NewBisect(4)
+	op, err := src.Next(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Kind != Insert || op.Pos != 5 {
+		t.Fatalf("bisect chose %s @%d, want insert @5 (gap 504..506)", op.Kind, op.Pos)
+	}
+}
+
+func TestInsertionGapPrefersPrecedingEnd(t *testing.T) {
+	// Position 1's predecessor label is element 0's END tag (20), not its
+	// start (10): gap must be 100-20 = 80, not 100-10 = 90.
+	v := fakeView{starts: []order.Label{10, 100}, ends: []order.Label{20, 140}}
+	gap, ok, err := insertionGap(v, 1)
+	if err != nil || !ok || gap != 80 {
+		t.Fatalf("insertionGap = (%d, %v, %v), want (80, true, nil)", gap, ok, err)
+	}
+	// With the end tag unobservable the scan degrades to start distance.
+	v.ends[0] = 0
+	gap, ok, err = insertionGap(v, 1)
+	if err != nil || !ok || gap != 90 {
+		t.Fatalf("insertionGap sans end = (%d, %v, %v), want (90, true, nil)", gap, ok, err)
+	}
+}
+
+func TestMinGapPosSkipsOverflowedLabels(t *testing.T) {
+	// The would-be tightest gaps straddle the unobservable element 2 and
+	// must be skipped; the best measurable gap is 95-91 = 4 at position 5.
+	v := fakeView{
+		starts: []order.Label{10, 50, 0, 60, 90, 95, 300},
+		ends:   []order.Label{15, 55, 0, 62, 91, 96, 301},
+	}
+	pos, ok, err := minGapPos(v, 0, v.Len()-1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || pos != 5 {
+		t.Fatalf("minGapPos = (%d, %v), want (5, true)", pos, ok)
+	}
+}
+
+func TestMinGapPosAllOverflowed(t *testing.T) {
+	v := fakeView{starts: []order.Label{0, 0, 0}, ends: []order.Label{0, 0, 0}}
+	if _, ok, err := minGapPos(v, 0, v.Len()-1, -1); err != nil || ok {
+		t.Fatalf("minGapPos on unobservable view = (ok=%v, err=%v), want (false, nil)", ok, err)
+	}
+}
+
+func TestAdversariesBootstrapEmptyView(t *testing.T) {
+	for _, src := range []Source{NewFrontPack(8), NewBisect(8), NewZipfMix(1, 1.2, 50, 10), NewChurn(1, 8), NewUniform(1)} {
+		op, err := src.Next(fakeView{})
+		if err != nil {
+			t.Fatalf("%s: %v", src.Name(), err)
+		}
+		if op.Kind != Insert || op.Pos != 0 {
+			t.Fatalf("%s on empty view = %s @%d, want insert @0", src.Name(), op.Kind, op.Pos)
+		}
+	}
+}
+
+// staticView lets the deterministic sources be replayed without a store.
+type staticView struct{ n int }
+
+func (s staticView) Len() int { return s.n }
+func (s staticView) Label(pos int) (order.Label, error) {
+	return order.Label(pos+1) * 100, nil
+}
+func (s staticView) EndLabel(pos int) (order.Label, error) {
+	return order.Label(pos+1)*100 + 50, nil
+}
+
+func TestSeededSourcesAreDeterministic(t *testing.T) {
+	mk := []func() Source{
+		func() Source { return NewZipfMix(42, 1.3, 40, 20) },
+		func() Source { return NewChurn(42, 16) },
+		func() Source { return NewUniform(42) },
+	}
+	for _, f := range mk {
+		a, b := f(), f()
+		for i := 0; i < 200; i++ {
+			// Feed both the same view sequence (size wobbles with i so
+			// churn's hysteresis exercises both phases).
+			v := staticView{n: 8 + i%16}
+			oa, errA := a.Next(v)
+			ob, errB := b.Next(v)
+			if errA != nil || errB != nil {
+				t.Fatalf("%s: step %d: errors %v, %v", a.Name(), i, errA, errB)
+			}
+			if oa != ob {
+				t.Fatalf("%s: step %d diverged: %+v vs %+v", a.Name(), i, oa, ob)
+			}
+		}
+	}
+}
+
+func TestChurnOscillatesWithHysteresis(t *testing.T) {
+	src := NewChurn(7, 16)
+	n := 0
+	deletes, inserts := 0, 0
+	sawLow := false
+	for i := 0; i < 400; i++ {
+		op, err := src.Next(staticView{n: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch op.Kind {
+		case Insert:
+			inserts++
+			n++
+		case Delete:
+			deletes++
+			n--
+		default:
+			t.Fatalf("churn emitted %s", op.Kind)
+		}
+		if n > 16 || n < 0 {
+			t.Fatalf("churn left the band: n=%d at step %d", n, i)
+		}
+		if n == 8 {
+			sawLow = true
+		}
+	}
+	if !sawLow {
+		t.Fatal("churn never drained to the low-water mark")
+	}
+	if deletes == 0 || inserts == 0 {
+		t.Fatalf("churn is not churning: %d inserts, %d deletes", inserts, deletes)
+	}
+	if diff := inserts - deletes; diff < -17 || diff > 17 {
+		t.Fatalf("churn is not balanced over time: %d inserts vs %d deletes", inserts, deletes)
+	}
+}

@@ -1,0 +1,37 @@
+package xmlgen
+
+// Shape generators for the workload zoo: the two structural extremes that
+// bracket the paper's experiments. TwoLevel (flat/wide) and XMark
+// (realistic) live alongside; DeepChain and Fanout cover the deep/narrow
+// and exponentially wide corners, which stress subtree spans and end-tag
+// placement very differently from a flat child list.
+
+// DeepChain generates a maximally deep, narrow document: n elements in a
+// single parent-child chain (depth n). n must be at least 1.
+func DeepChain(n int) *Tree {
+	t := NewTree("chain")
+	cur := t.Root
+	for i := 1; i < n; i++ {
+		cur = cur.AddChild("link")
+	}
+	return t
+}
+
+// Fanout generates a complete tree of the given depth where every
+// non-leaf element has fan children: the flat/wide extreme generalized to
+// multiple levels ((fan^depth - 1) / (fan - 1) elements for fan > 1).
+// depth and fan must be at least 1.
+func Fanout(depth, fan int) *Tree {
+	t := NewTree("fan")
+	var grow func(n *Node, level int)
+	grow = func(n *Node, level int) {
+		if level >= depth {
+			return
+		}
+		for i := 0; i < fan; i++ {
+			grow(n.AddChild("node"), level+1)
+		}
+	}
+	grow(t.Root, 1)
+	return t
+}

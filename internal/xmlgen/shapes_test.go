@@ -1,0 +1,194 @@
+package xmlgen
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"boxes/internal/order"
+)
+
+// shapeCase is one generator of the document-shape zoo with its expected
+// structural profile. gen must be deterministic: calling it twice yields
+// byte-identical tag streams.
+type shapeCase struct {
+	name     string
+	gen      func() *Tree
+	elements int // exact element count; -1 to skip (XMark overshoots its target)
+	depth    int // exact depth; -1 to skip
+}
+
+func shapeCases() []shapeCase {
+	return []shapeCase{
+		{"two-level/1", func() *Tree { return TwoLevel(1) }, 1, 1},
+		{"two-level/64", func() *Tree { return TwoLevel(64) }, 64, 2},
+		{"deep-chain/1", func() *Tree { return DeepChain(1) }, 1, 1},
+		{"deep-chain/40", func() *Tree { return DeepChain(40) }, 40, 40},
+		{"fanout/1x5", func() *Tree { return Fanout(1, 5) }, 1, 1},
+		{"fanout/3x3", func() *Tree { return Fanout(3, 3) }, 13, 3},   // 1+3+9
+		{"fanout/4x2", func() *Tree { return Fanout(4, 2) }, 15, 4},   // 2^4-1
+		{"fanout/2x16", func() *Tree { return Fanout(2, 16) }, 17, 2}, // wide
+		{"xmark/400", func() *Tree { return XMark(400, 11) }, -1, -1},
+	}
+}
+
+// TestShapeInvariants holds every zoo shape to the structural contract the
+// harnesses rely on: the advertised element count and depth, a well-formed
+// tag stream of exactly 2*Elements() tags, a WriteXML/Parse round trip
+// preserving shape, and a deterministic generator.
+func TestShapeInvariants(t *testing.T) {
+	for _, sc := range shapeCases() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			tr := sc.gen()
+			if sc.elements >= 0 && tr.Elements() != sc.elements {
+				t.Errorf("elements = %d, want %d", tr.Elements(), sc.elements)
+			}
+			if sc.depth >= 0 && tr.Depth() != sc.depth {
+				t.Errorf("depth = %d, want %d", tr.Depth(), sc.depth)
+			}
+
+			tags := tr.TagStream()
+			if len(tags) != 2*tr.Elements() {
+				t.Errorf("tag stream has %d tags, want %d", len(tags), 2*tr.Elements())
+			}
+			if err := order.ValidateTagStream(tags); err != nil {
+				t.Errorf("tag stream ill-formed: %v", err)
+			}
+
+			// Deterministic generator: a second run is tag-identical.
+			again := sc.gen().TagStream()
+			if len(again) != len(tags) {
+				t.Fatalf("regenerated stream has %d tags, want %d", len(again), len(tags))
+			}
+			for i := range tags {
+				if tags[i] != again[i] {
+					t.Fatalf("regenerated stream differs at tag %d: %v vs %v", i, again[i], tags[i])
+				}
+			}
+
+			// Parse(WriteXML(tree)) preserves the shape exactly.
+			var buf bytes.Buffer
+			if err := tr.WriteXML(&buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := Parse(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bt := back.TagStream()
+			if len(bt) != len(tags) {
+				t.Fatalf("round trip has %d tags, want %d", len(bt), len(tags))
+			}
+			for i := range tags {
+				if bt[i] != tags[i] {
+					t.Fatalf("round trip differs at tag %d: %v vs %v", i, bt[i], tags[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDeepChainIsAChain pins the structural intent beyond the depth count:
+// every non-leaf element of DeepChain has exactly one child.
+func TestDeepChainIsAChain(t *testing.T) {
+	tr := DeepChain(25)
+	n := tr.Root
+	links := 1
+	for len(n.Children) > 0 {
+		if len(n.Children) != 1 {
+			t.Fatalf("element %d has %d children, want 1", links-1, len(n.Children))
+		}
+		n = n.Children[0]
+		links++
+	}
+	if links != 25 {
+		t.Fatalf("chain length = %d, want 25", links)
+	}
+}
+
+// TestFanoutIsComplete checks Fanout's shape: every element above the leaf
+// level has exactly fan children and all leaves sit at the same depth.
+func TestFanoutIsComplete(t *testing.T) {
+	const depth, fan = 4, 3
+	tr := Fanout(depth, fan)
+	var walk func(n *Node, level int)
+	walk = func(n *Node, level int) {
+		if level == depth {
+			if len(n.Children) != 0 {
+				t.Fatalf("leaf at level %d has %d children", level, len(n.Children))
+			}
+			return
+		}
+		if len(n.Children) != fan {
+			t.Fatalf("level %d element has %d children, want %d", level, len(n.Children), fan)
+		}
+		for _, ch := range n.Children {
+			walk(ch, level+1)
+		}
+	}
+	walk(tr.Root, 1)
+	want := (pow(fan, depth) - 1) / (fan - 1)
+	if tr.Elements() != want {
+		t.Fatalf("elements = %d, want %d", tr.Elements(), want)
+	}
+}
+
+func pow(b, e int) int {
+	p := 1
+	for i := 0; i < e; i++ {
+		p *= b
+	}
+	return p
+}
+
+// TestShapesBulkLoadDepthExtremes guards the generator contracts the
+// harnesses use to pick corners: for equal element counts, DeepChain is
+// strictly deeper than every other shape and TwoLevel strictly shallower.
+func TestShapesBulkLoadDepthExtremes(t *testing.T) {
+	const n = 31
+	deep := DeepChain(n).Depth()
+	flat := TwoLevel(n).Depth()
+	mid := Fanout(5, 2).Depth() // 2^5-1 = 31 elements
+	if !(flat < mid && mid < deep) {
+		t.Fatalf("depth ordering violated: two-level %d, fanout %d, deep-chain %d", flat, mid, deep)
+	}
+	if got := Fanout(5, 2).Elements(); got != n {
+		t.Fatalf("fanout(5,2) elements = %d, want %d", got, n)
+	}
+}
+
+// TestShapeTagStreamNesting spot-checks that end tags close in LIFO order
+// for the two hand-analyzable extremes (all starts then all ends for the
+// chain; strictly alternating pairs under the two-level root).
+func TestShapeTagStreamNesting(t *testing.T) {
+	tags := DeepChain(4).TagStream()
+	for i := 0; i < 4; i++ {
+		if !tags[i].Start || tags[i].Elem != int32(i) {
+			t.Fatalf("chain tag %d = %v, want start of element %d", i, tags[i], i)
+		}
+		end := tags[len(tags)-1-i]
+		if end.Start || end.Elem != int32(i) {
+			t.Fatalf("chain tag %d = %v, want end of element %d", len(tags)-1-i, end, i)
+		}
+	}
+
+	tags = TwoLevel(4).TagStream()
+	wantStr := "s0 s1 e1 s2 e2 s3 e3 e0"
+	var got []byte
+	for i, tg := range tags {
+		if i > 0 {
+			got = append(got, ' ')
+		}
+		c := byte('e')
+		if tg.Start {
+			c = 's'
+		}
+		got = append(got, c)
+		got = append(got, []byte(fmt.Sprintf("%d", tg.Elem))...)
+	}
+	if string(got) != wantStr {
+		t.Fatalf("two-level stream = %q, want %q", got, wantStr)
+	}
+}
