@@ -6,7 +6,7 @@ GO ?= go
 # parameters.
 BENCH_FLAGS := -base 2000 -inserts 500 -xmark 1000 -xprime 200
 
-.PHONY: all build test race lint bench bench-diff bench-baseline microbench check crash-matrix scrub-matrix fsck fuzz-smoke sim-smoke sim-seeds trace-smoke heat-smoke zoo experiments experiments-paper-scale clean
+.PHONY: all build test race lint bench bench-diff bench-baseline microbench check crash-matrix scrub-matrix fsck fuzz-smoke sim-smoke sim-seeds trace-smoke heat-smoke serve-smoke serve-baseline zoo experiments experiments-paper-scale clean
 
 all: build test
 
@@ -190,6 +190,53 @@ heat-smoke:
 	grep -q '"conservation_ok":true' heat-scattered.json
 	grep -q '"name":"inserts"' heat-scattered.json
 	@echo "heat-smoke: conservation ok; snapshot in heat-scattered.json"
+
+# Workload for the served-load snapshot and its committed baseline;
+# benchdiff refuses to compare snapshots with different parameters, so
+# serve-smoke and serve-baseline must agree on these.
+SERVE_LOAD_FLAGS := -conns 4 -ops 2000 -seed 1
+
+# Network-service smoke: start boxserve, run the benchdiff-gated zipf
+# load, then a churn load while the server injects connection faults
+# (every 7th response write kills the connection — clients must retry
+# and the session dedup must keep every op exactly-once), SIGTERM a
+# graceful drain, and verify the store offline with boxfsck. The gate
+# floors acked ops (a collapse means retry/dedup broke) and compares the
+# snapshot against the committed baseline in results/.
+serve-smoke:
+	$(GO) build -o /tmp/boxserve-smoke ./cmd/boxserve
+	$(GO) build -o /tmp/boxclient-smoke ./cmd/boxclient
+	-@kill $$(cat /tmp/boxes-serve.pid 2>/dev/null) 2>/dev/null; sleep 1
+	rm -f /tmp/boxes-serve.box /tmp/boxes-serve.log
+	/tmp/boxserve-smoke -store /tmp/boxes-serve.box -addr 127.0.0.1:9420 -metrics 127.0.0.1:9421 \
+		-fault-kth 7 -fault-mode crash -fault-seed 3 \
+		> /tmp/boxes-serve.log 2>&1 & echo $$! > /tmp/boxes-serve.pid
+	@for i in $$(seq 1 60); do grep -q serving /tmp/boxes-serve.log && break; sleep 1; done; \
+		grep -q serving /tmp/boxes-serve.log || { echo "boxserve never came up:"; cat /tmp/boxes-serve.log; exit 1; }
+	/tmp/boxclient-smoke -addr 127.0.0.1:9420 -load -source zipf $(SERVE_LOAD_FLAGS) -json .
+	/tmp/boxclient-smoke -addr 127.0.0.1:9420 -load -source churn $(SERVE_LOAD_FLAGS)
+	curl -fsS http://127.0.0.1:9421/metrics | grep -E '^serve_requests_total|^serve_sessions|^pager_wal_size_bytes'
+	kill -TERM $$(cat /tmp/boxes-serve.pid)
+	@for i in $$(seq 1 60); do grep -q 'closed' /tmp/boxes-serve.log && break; sleep 1; done; \
+		grep -q 'closed' /tmp/boxes-serve.log || { echo "drain did not complete:"; cat /tmp/boxes-serve.log; exit 1; }
+	$(GO) run ./cmd/boxfsck -v /tmp/boxes-serve.box
+	$(GO) run ./cmd/benchdiff -min 'zipf:serve_acked=1900' \
+		results/baseline-serve.json BENCH_serve.json
+	@echo "serve-smoke: faults absorbed, drain clean, store fsck-clean"
+
+# Regenerate the committed served-load baseline after an intentional
+# change to the serve layer (fault-free run; review the diff).
+serve-baseline:
+	$(GO) build -o /tmp/boxserve-smoke ./cmd/boxserve
+	$(GO) build -o /tmp/boxclient-smoke ./cmd/boxclient
+	-@kill $$(cat /tmp/boxes-serve-base.pid 2>/dev/null) 2>/dev/null; sleep 1
+	rm -f /tmp/boxes-serve-base.box /tmp/boxes-serve-base.log
+	/tmp/boxserve-smoke -store /tmp/boxes-serve-base.box -addr 127.0.0.1:9422 \
+		> /tmp/boxes-serve-base.log 2>&1 & echo $$! > /tmp/boxes-serve-base.pid
+	@for i in $$(seq 1 60); do grep -q serving /tmp/boxes-serve-base.log && break; sleep 1; done
+	/tmp/boxclient-smoke -addr 127.0.0.1:9422 -load -source zipf $(SERVE_LOAD_FLAGS) -json results
+	kill -TERM $$(cat /tmp/boxes-serve-base.pid)
+	mv results/BENCH_serve.json results/baseline-serve.json
 
 # Span-tracing smoke: the group-commit experiment with the Chrome trace
 # exporter on (the artifact CI uploads; load it in Perfetto — the

@@ -9,11 +9,14 @@
 //	boxinspect -lid 42 -lid 43 labels.box
 //	boxinspect -health labels.box
 //	boxinspect -crash crash-W-BOX-insert-....json
+//	boxinspect -health -metrics-url http://host:9100   # running boxserve
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -46,11 +49,20 @@ func main() {
 	health := flag.Bool("health", false, "walk the structure and print its health gauges (height, occupancy, balance slack, fragmentation)")
 	crash := flag.String("crash", "", "pretty-print a flight-recorder crash dump instead of opening a store")
 	ledger := flag.Bool("ledger", false, "print the amortized-cost ledger accumulated by the ops this inspection ran")
+	url := flag.String("metrics-url", "", "scrape health gauges from a running server's /metrics endpoint instead of opening a store file")
 	flag.Var(&lids, "lid", "resolve this LID to its current label (repeatable)")
 	flag.Parse()
 
 	if *crash != "" {
 		if err := printCrashDump(*crash); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *url != "" {
+		// A running server holds the store file exclusively; its health is
+		// read over the wire, not from disk.
+		if err := printRemoteHealth(os.Stdout, *url); err != nil {
 			fatal(err)
 		}
 		return
@@ -146,6 +158,65 @@ func main() {
 			fmt.Printf("  %s\n", line)
 		}
 	}
+}
+
+// healthFamilies are the /metrics name prefixes printed by the remote
+// health view: the same structural/durability gauges -health walks from a
+// file, plus the serve-layer counters a file cannot carry.
+var healthFamilies = []string{
+	"boxes_tree_height", "boxes_node_occupancy", "boxes_balance_slack",
+	"boxes_health_walk_errors", "boxes_amortized_",
+	"lidf_", "pager_", "wbox_", "bbox_", "naive_", "serve_",
+}
+
+// printRemoteHealth scrapes a running server's /metrics endpoint and
+// prints the health gauge families in the same form as -health.
+func printRemoteHealth(w *os.File, url string) error {
+	if !strings.Contains(url, "://") {
+		if strings.HasPrefix(url, ":") {
+			url = "localhost" + url
+		}
+		url = "http://" + url
+	}
+	url = strings.TrimRight(url, "/") + "/metrics"
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	fmt.Fprintf(w, "remote  : %s\n", url)
+	fmt.Fprintln(w, "health  :")
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	matched := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, p := range healthFamilies {
+			if strings.HasPrefix(line, p) {
+				// Prometheus exposition is "name{labels} value"; render it
+				// in -health's "name{labels} = value" form.
+				if i := strings.LastIndexByte(line, ' '); i > 0 {
+					fmt.Fprintf(w, "  %s = %s\n", line[:i], line[i+1:])
+					matched++
+				}
+				break
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if matched == 0 {
+		return fmt.Errorf("%s: no health gauges in the exposition (is this a boxes /metrics endpoint?)", url)
+	}
+	return nil
 }
 
 // printGauges renders gauges sorted by family and labels, one per line.

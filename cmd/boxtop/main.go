@@ -14,6 +14,7 @@
 //	boxtop :9100
 //	boxtop -refresh 2s -phases 12 localhost:9100
 //	boxtop -once :9100          # one snapshot, no screen switching (scriptable)
+//	boxtop -metrics-url http://prod-host:9100 -once   # remote boxserve
 package main
 
 import (
@@ -48,15 +49,22 @@ func main() {
 		phases  = flag.Int("phases", 16, "phase rows shown (hottest first)")
 		slow    = flag.Int("slow", 5, "slow operations shown (newest first)")
 		heat    = flag.Bool("heat", true, "show the cost-ledger / heat-map panel from /debug/heat")
+		url     = flag.String("metrics-url", "", "metrics endpoint of a running server (e.g. http://host:9100); alternative to the positional host:port")
 	)
 	// -interval predates -refresh; both names drive the same duration.
 	flag.DurationVar(refresh, "interval", 1*time.Second, "alias for -refresh")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: boxtop [flags] <host:port>")
+	base := *url
+	if base == "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: boxtop [flags] <host:port>  |  boxtop -metrics-url <url> [flags]")
+			os.Exit(2)
+		}
+		base = flag.Arg(0)
+	} else if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "boxtop: give either -metrics-url or a positional host:port, not both")
 		os.Exit(2)
 	}
-	base := flag.Arg(0)
 	if !strings.Contains(base, "://") {
 		if strings.HasPrefix(base, ":") {
 			base = "localhost" + base
@@ -160,8 +168,12 @@ func pollHeat(client *http.Client, base string) (*obs.HeatDebugPayload, error) {
 var gaugePrefixes = []string{
 	"pager_wal_syncs_per_commit",
 	"pager_wal_group_size",
+	"pager_wal_size_bytes",
 	"pager_gc_queue_depth",
 	"pager_gc_overlay_blocks",
+	"serve_queue_depth",
+	"serve_shed_total",
+	"serve_conns_active",
 }
 
 func pollGauges(client *http.Client, base string) ([]string, error) {

@@ -28,7 +28,7 @@ func TestMain(m *testing.M) {
 		panic(err)
 	}
 	binDir = dir
-	for _, tool := range []string{"boxgen", "boxload", "boxinspect", "boxbench", "benchdiff", "boxfsck"} {
+	for _, tool := range []string{"boxgen", "boxload", "boxinspect", "boxbench", "benchdiff", "boxfsck", "boxserve", "boxclient"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "boxes/cmd/"+tool)
 		cmd.Stderr = os.Stderr
 		if err := cmd.Run(); err != nil {
@@ -388,5 +388,103 @@ func TestBenchMetricsEndpoint(t *testing.T) {
 	// must be positive, not just present.
 	if ok, _ := regexp.MatchString(`boxes_ops_total\{op="bulk_load"\} [1-9]`, text); !ok {
 		t.Errorf("bulk_load op count not positive:\n%s", text)
+	}
+}
+
+// TestServeCLI drives the served-store path end to end: boot boxserve on
+// an ephemeral port, round-trip single ops and a small load through
+// boxclient, drain with SIGTERM, and verify the store offline — the ack
+// contract says everything acked before the drain must be on disk.
+func TestServeCLI(t *testing.T) {
+	dir := t.TempDir()
+	box := filepath.Join(dir, "served.box")
+	cmd := exec.Command(filepath.Join(binDir, "boxserve"),
+		"-store", box, "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill()
+		}
+	}()
+
+	var addr string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if line := sc.Text(); strings.HasPrefix(line, "serving : ") {
+			addr = strings.Fields(line)[2]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no serving address announced (scanner err: %v)", sc.Err())
+	}
+	var serveOut strings.Builder
+	drained := make(chan struct{})
+	go func() {
+		for sc.Scan() {
+			serveOut.WriteString(sc.Text() + "\n")
+		}
+		close(drained)
+	}()
+
+	out := run(t, "boxclient", "-addr", addr, "insert-first")
+	if !strings.Contains(out, "start LID 1, end LID 2") {
+		t.Fatalf("insert-first:\n%s", out)
+	}
+	out = run(t, "boxclient", "-addr", addr, "insert", "2")
+	if !strings.Contains(out, "start LID 3, end LID 4") {
+		t.Fatalf("insert:\n%s", out)
+	}
+	out = run(t, "boxclient", "-addr", addr, "compare", "1", "3")
+	if !strings.Contains(out, "compare(1, 3) = -1") {
+		t.Fatalf("compare:\n%s", out)
+	}
+	out = run(t, "boxclient", "-addr", addr, "lookup", "3")
+	if !strings.Contains(out, "LID 3 = label") {
+		t.Fatalf("lookup:\n%s", out)
+	}
+	out = run(t, "boxclient", "-addr", addr, "-load",
+		"-source", "churn", "-conns", "2", "-ops", "100", "-seed", "7")
+	if !strings.Contains(out, "100 attempted, 100 acked, 0 failed") {
+		t.Fatalf("load should ack every op on a clean transport:\n%s", out)
+	}
+
+	// SIGTERM: the drain must finish in-flight work and close the store.
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	killed = true
+	waitDone := make(chan error, 1)
+	go func() { waitDone <- cmd.Wait() }()
+	select {
+	case err := <-waitDone:
+		if err != nil {
+			t.Fatalf("boxserve did not drain cleanly: %v\n%s", err, serveOut.String())
+		}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("boxserve did not exit after SIGTERM")
+	}
+	<-drained
+	if !strings.Contains(serveOut.String(), "closed  : store synced and released") {
+		t.Fatalf("no clean-close line:\n%s", serveOut.String())
+	}
+
+	// Acked ⇒ durable: the offline store must hold everything and pass fsck.
+	out = run(t, "boxfsck", "-v", box)
+	if !strings.Contains(out, "verdict : clean") {
+		t.Fatalf("served store not fsck-clean:\n%s", out)
+	}
+	out = run(t, "boxinspect", "-lid", "1", "-lid", "3", box)
+	if !strings.Contains(out, "all structural invariants hold") {
+		t.Fatalf("inspect after serve:\n%s", out)
 	}
 }

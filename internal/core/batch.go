@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -104,6 +105,18 @@ func (e *BatchError) Unwrap() error { return e.Err }
 // existing single-op failure semantics; durable callers recover the exact
 // pre-batch state by reopening from the backend.
 func (s *Store) ApplyBatch(ops []Op) ([]OpResult, error) {
+	return s.ApplyBatchCtx(context.Background(), ops)
+}
+
+// ApplyBatchCtx is ApplyBatch with a cancellation point between ops: an
+// expired context aborts the batch before the next op runs, the pager
+// operation rolls back, and no write reaches the backend. The check sits
+// strictly before the commit protocol — once the last op has applied, the
+// WAL commit runs to completion regardless of ctx, so a ctx error from
+// this method guarantees the batch did NOT commit, and a nil error
+// guarantees it is durable. Servers use this to shed queued work on
+// deadline without ever cancelling mid-WAL-commit.
+func (s *Store) ApplyBatchCtx(ctx context.Context, ops []Op) ([]OpResult, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
@@ -111,6 +124,9 @@ func (s *Store) ApplyBatch(ops []Op) ([]OpResult, error) {
 	results := make([]OpResult, len(ops))
 	err := s.durableBatch(func() error {
 		for i := range ops {
+			if cerr := ctx.Err(); cerr != nil {
+				return fmt.Errorf("core: batch aborted before op %d/%d: %w", i, len(ops), cerr)
+			}
 			if err := s.applyOne(&ops[i], &results[i]); err != nil {
 				return &BatchError{Index: i, Kind: ops[i].Kind, Err: err}
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -206,9 +207,19 @@ func (s *SyncStore) InsertSubtreeBefore(lidOld order.LID, tree *xmlgen.Tree) ([]
 // ApplyBatch commits ops as one atomic transaction (see Store.ApplyBatch)
 // under the write lock, waiting for durability outside it.
 func (s *SyncStore) ApplyBatch(ops []Op) ([]OpResult, error) {
+	return s.ApplyBatchCtx(context.Background(), ops)
+}
+
+// ApplyBatchCtx is ApplyBatch with the cancellation semantics of
+// Store.ApplyBatchCtx. The write-lock acquisition itself is not
+// interruptible (a deadline that expires while queued behind the lock is
+// detected before the first op runs and the batch aborts cleanly), and
+// once the commit protocol starts the durability wait always runs to
+// completion: a ctx error means nothing committed, nil means durable.
+func (s *SyncStore) ApplyBatchCtx(ctx context.Context, ops []Op) ([]OpResult, error) {
 	var results []OpResult
 	err := s.write(func() (err error) {
-		results, err = s.st.ApplyBatch(ops)
+		results, err = s.st.ApplyBatchCtx(ctx, ops)
 		return err
 	})
 	return results, err

@@ -1,0 +1,98 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// A cancelled context aborts the retry loop mid-backoff: the sleep is cut
+// short and the error carries both ctx.Err and the last transient failure.
+func TestDoCtxCancelDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := NewRetrier(RetryPolicy{
+		MaxAttempts:    10,
+		InitialBackoff: time.Hour, // without cancellation this test hangs
+		Jitter:         0,
+	})
+	attempts := 0
+	start := time.Now()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	retries, err := r.DoCtx(ctx, func() error {
+		attempts++
+		return ErrTransient
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("backoff was not interrupted (took %v)", elapsed)
+	}
+	if attempts != 1 || retries != 0 {
+		t.Fatalf("want 1 attempt, 0 retries; got %d, %d", attempts, retries)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in chain, got %v", err)
+	}
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("want last transient failure in chain, got %v", err)
+	}
+}
+
+// A deadline that expires between attempts stops the loop before the
+// budget runs out.
+func TestDoCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	r := NewRetrier(RetryPolicy{
+		MaxAttempts:    1000,
+		InitialBackoff: 5 * time.Millisecond,
+		MaxBackoff:     5 * time.Millisecond,
+		Jitter:         0,
+	})
+	_, err := r.DoCtx(ctx, func() error { return ErrTransient })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	var ex *ExhaustedError
+	if errors.As(err, &ex) {
+		t.Fatalf("deadline abort must not look like an exhausted budget: %v", err)
+	}
+}
+
+// A context that is already dead fails before the first attempt runs.
+func TestDoCtxDeadBeforeFirstAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRetrier(DefaultRetryPolicy())
+	ran := false
+	_, err := r.DoCtx(ctx, func() error { ran = true; return nil })
+	if ran {
+		t.Fatal("fn ran under a dead context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// Cancellation is still a clean no-op for the healthy paths: success and
+// permanent failure behave exactly like Do.
+func TestDoCtxPassThrough(t *testing.T) {
+	ctx := context.Background()
+	r := NewRetrier(DefaultRetryPolicy())
+	if retries, err := r.DoCtx(ctx, func() error { return nil }); err != nil || retries != 0 {
+		t.Fatalf("success: retries=%d err=%v", retries, err)
+	}
+	perm := errors.New("permanent")
+	if _, err := r.DoCtx(ctx, func() error { return perm }); !errors.Is(err, perm) {
+		t.Fatalf("permanent error must return verbatim, got %v", err)
+	}
+	// A zero-backoff policy with ctx support still exhausts the budget.
+	r2 := NewRetrier(RetryPolicy{MaxAttempts: 3})
+	_, err := r2.DoCtx(ctx, func() error { return ErrTransient })
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || ex.Attempts != 3 {
+		t.Fatalf("want ExhaustedError after 3 attempts, got %v", err)
+	}
+}

@@ -10,6 +10,7 @@
 package faults
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -206,6 +207,19 @@ func (r *Retrier) Policy() RetryPolicy { return r.policy }
 // attempt settled it) and the outcome: nil, the permanent error verbatim,
 // or an ExhaustedError wrapping the last transient failure.
 func (r *Retrier) Do(fn func() error) (retries int, err error) {
+	return r.DoCtx(context.Background(), fn)
+}
+
+// DoCtx is Do with cancellation: a context that expires aborts the loop —
+// including mid-backoff, where the sleep is cut short — and the call
+// returns ctx.Err() wrapped with the last transient failure (or alone when
+// the context was dead before the first attempt). The deadline paths of a
+// network client and a draining server both need this: a bounded retry
+// budget must never outlive the request it serves.
+func (r *Retrier) DoCtx(ctx context.Context, fn func() error) (retries int, err error) {
+	if cerr := ctx.Err(); cerr != nil {
+		return 0, cerr
+	}
 	backoff := r.policy.InitialBackoff
 	for attempt := 1; ; attempt++ {
 		err = fn()
@@ -216,11 +230,17 @@ func (r *Retrier) Do(fn func() error) (retries int, err error) {
 			return attempt - 1, &ExhaustedError{Attempts: attempt, Err: err}
 		}
 		if backoff > 0 {
-			r.sleep(r.jittered(backoff))
+			if !r.sleepCtx(ctx, r.jittered(backoff)) {
+				return attempt - 1, fmt.Errorf("faults: retry aborted after %d attempt(s): %w (last failure: %w)",
+					attempt, ctx.Err(), err)
+			}
 			backoff = time.Duration(float64(backoff) * r.policy.Multiplier)
 			if r.policy.MaxBackoff > 0 && backoff > r.policy.MaxBackoff {
 				backoff = r.policy.MaxBackoff
 			}
+		} else if cerr := ctx.Err(); cerr != nil {
+			return attempt - 1, fmt.Errorf("faults: retry aborted after %d attempt(s): %w (last failure: %w)",
+				attempt, cerr, err)
 		}
 	}
 }
@@ -235,10 +255,24 @@ func (r *Retrier) jittered(d time.Duration) time.Duration {
 	return time.Duration(float64(d) * (1 - r.policy.Jitter*u))
 }
 
-func (r *Retrier) sleep(d time.Duration) {
+// sleepCtx sleeps for d or until ctx expires, whichever comes first, and
+// reports whether the full sleep completed. A custom Sleep hook (tests)
+// runs uninterruptible but still honors a context that was already dead.
+func (r *Retrier) sleepCtx(ctx context.Context, d time.Duration) bool {
 	if r.policy.Sleep != nil {
 		r.policy.Sleep(d)
-		return
+		return ctx.Err() == nil
 	}
-	time.Sleep(d)
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -105,6 +106,12 @@ type WALStats struct {
 	// is the mean group size.
 	GroupCommits uint64
 	GroupedTxns  uint64
+
+	// SizeBytes is the current WAL file size (append offset): a point-in-
+	// time gauge, not a cumulative counter. It grows with every commit and
+	// resets to the header size when the log is truncated after apply, so
+	// operators can watch WAL growth between checkpoints.
+	SizeBytes uint64
 }
 
 // MeanGroupSize returns the average number of transactions per flushed
@@ -161,10 +168,11 @@ type FileBackend struct {
 	allocated uint64
 	metaRoot  BlockID // head of the store's metadata blob, NilBlock if none
 
-	inBatch bool
-	stage   map[BlockID][]byte // staged images of the open batch
-	snap    walHeaderState     // header state at BeginBatch, for abort
-	walSize int64              // current WAL append offset
+	inBatch  bool
+	stage    map[BlockID][]byte // staged images of the open batch
+	snap     walHeaderState     // header state at BeginBatch, for abort
+	walSize  int64              // current WAL append offset
+	walSizeA atomic.Int64       // mirror of walSize for lock-free WALStats scrapes
 
 	recovery RecoveryInfo
 	statsMu  sync.Mutex // stats are written by the committer goroutine too
@@ -243,7 +251,7 @@ func CreateFileOpts(path string, opts FileOptions) (*FileBackend, error) {
 			fb.closeFiles()
 			return nil, err
 		}
-		fb.walSize = walHeaderSize
+		fb.setWALSize(walHeaderSize)
 	}
 	if err := fb.writeHeader(); err != nil {
 		fb.closeFiles()
@@ -493,7 +501,7 @@ func (fb *FileBackend) openWAL(ctrl *CrashController, dc *DiskController) error 
 			return err
 		}
 	}
-	fb.walSize = walHeaderSize
+	fb.setWALSize(walHeaderSize)
 	return nil
 }
 
@@ -538,7 +546,7 @@ func (fb *FileBackend) recoverHeaderFromWAL(path string, ctrl *CrashController, 
 	fb.allocated = last.hdr.allocated
 	fb.metaRoot = last.hdr.metaRoot
 	fb.flags = last.hdr.flags
-	fb.walSize = walHeaderSize
+	fb.setWALSize(walHeaderSize)
 	return nil
 }
 
@@ -600,7 +608,7 @@ func (fb *FileBackend) recoverWAL() error {
 			return err
 		}
 	}
-	fb.walSize = walHeaderSize
+	fb.setWALSize(walHeaderSize)
 	return nil
 }
 
@@ -612,7 +620,18 @@ func (fb *FileBackend) RecoveryInfo() RecoveryInfo { return fb.recovery }
 func (fb *FileBackend) WALStats() WALStats {
 	fb.statsMu.Lock()
 	defer fb.statsMu.Unlock()
-	return fb.stats
+	st := fb.stats
+	st.SizeBytes = uint64(fb.walSizeA.Load())
+	return st
+}
+
+// setWALSize moves the WAL append offset and its atomic mirror together.
+// The offset itself is only touched with the backend quiescent (open,
+// recovery) or from the single committing goroutine, but WALStats scrapes
+// race with the committer, so they read the mirror.
+func (fb *FileBackend) setWALSize(n int64) {
+	fb.walSize = n
+	fb.walSizeA.Store(n)
 }
 
 // ChecksumsEnabled reports whether per-block CRCs are verified on read.
@@ -929,7 +948,7 @@ func (fb *FileBackend) commit(stage map[BlockID][]byte, pre walHeaderState) erro
 		return err
 	}
 	section(obs.PhaseFsync, t0)
-	fb.walSize += int64(logged)
+	fb.setWALSize(fb.walSize + int64(logged))
 	fb.statsMu.Lock()
 	fb.stats.Commits++
 	fb.stats.Frames += uint64(len(images))
@@ -983,7 +1002,7 @@ func (fb *FileBackend) commit(stage map[BlockID][]byte, pre walHeaderState) erro
 		fb.poisonWith(err)
 		return err
 	}
-	fb.walSize = walHeaderSize
+	fb.setWALSize(walHeaderSize)
 	fb.statsMu.Lock()
 	fb.stats.Truncations++
 	fb.statsMu.Unlock()

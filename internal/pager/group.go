@@ -1,6 +1,7 @@
 package pager
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -71,6 +72,23 @@ func (t *CommitTicket) Wait() error {
 	}
 	<-t.done
 	return t.err
+}
+
+// WaitCtx is Wait with a bail-out: it returns ctx.Err() if the context
+// expires first. The commit itself is NOT cancelled — the group committer
+// owns the transaction and will flush it regardless; the caller merely
+// stops waiting for the outcome. Server deadline paths use this to give
+// up on a slow flush without ever aborting one mid-commit.
+func (t *CommitTicket) WaitCtx(ctx context.Context) error {
+	if t == nil {
+		return nil
+	}
+	select {
+	case <-t.done:
+		return t.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Done returns a channel closed when the ticket resolves (select-friendly
@@ -456,7 +474,7 @@ func (fb *FileBackend) applyGroup(group []*groupTxn) (err error) {
 		return err
 	}
 	section(obs.PhaseFsync, t0)
-	fb.walSize += int64(logged)
+	fb.setWALSize(fb.walSize + int64(logged))
 	fb.statsMu.Lock()
 	fb.stats.Commits += uint64(len(group))
 	fb.stats.Frames += uint64(frames)
@@ -519,7 +537,7 @@ func (fb *FileBackend) applyGroup(group []*groupTxn) (err error) {
 		fb.poisonWith(err)
 		return err
 	}
-	fb.walSize = walHeaderSize
+	fb.setWALSize(walHeaderSize)
 	fb.statsMu.Lock()
 	fb.stats.Truncations++
 	fb.statsMu.Unlock()

@@ -38,6 +38,9 @@ func (s *Store) CollectGauges() []obs.GaugeValue {
 			obs.G("pager_wal_data_syncs", "Data/sidecar fsyncs after in-place apply.", float64(st.DataSyncs)),
 			obs.G("pager_wal_group_commits", "Commit groups flushed by the group committer.", float64(st.GroupCommits)),
 			obs.G("pager_wal_group_size", "Mean transactions per flushed commit group.", st.MeanGroupSize()),
+			obs.G("pager_wal_size_bytes",
+				"Current write-ahead log file size in bytes (grows between truncations).",
+				float64(st.SizeBytes)),
 		)
 		if st.Commits > 0 {
 			gs = append(gs, obs.G("pager_wal_syncs_per_commit",

@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"net"
+	"time"
+
+	"boxes/internal/faults"
+)
+
+// FaultConn wraps a net.Conn and consults a faults.Schedule before every
+// Write, mapping the storage-fault vocabulary onto connection failure
+// modes at protocol write points:
+//
+//   - ModeTransient: a stall — the write is delayed by Stall (a slow or
+//     half-alive peer), then proceeds intact;
+//   - ModePermanent: byte corruption — one byte of the frame is flipped
+//     before the write, so the receiver's CRC check rejects it;
+//   - ModeCrash: connection death — with Torn, the first half of the
+//     buffer is written (a partial frame) before the close; without, the
+//     conn closes with nothing written (a clean drop);
+//   - ModeNoSpace: treated as a drop (no wire analogue of ENOSPC).
+//
+// Reads pass through untouched: every protocol exchange is a write on one
+// side, so write-point coverage covers the wire. The Schedule's
+// determinism (seed + op ordinals) makes a sweep over "fail the k-th
+// write" exhaustive and replayable.
+type FaultConn struct {
+	net.Conn
+	sched *faults.Schedule
+	// Stall is the transient-fault delay (default 10ms).
+	Stall time.Duration
+}
+
+// NewFaultConn wraps conn with the schedule. Typically installed via
+// Config.WrapConn on the server, or around a client's dialed conn.
+func NewFaultConn(conn net.Conn, sched *faults.Schedule) *FaultConn {
+	return &FaultConn{Conn: conn, sched: sched, Stall: 10 * time.Millisecond}
+}
+
+func (f *FaultConn) Write(p []byte) (int, error) {
+	d := f.sched.Decide(faults.OpWrite)
+	if !d.Fail {
+		return f.Conn.Write(p)
+	}
+	switch d.Mode {
+	case faults.ModeTransient:
+		time.Sleep(f.Stall)
+		return f.Conn.Write(p)
+	case faults.ModePermanent:
+		corrupted := make([]byte, len(p))
+		copy(corrupted, p)
+		if len(corrupted) > 0 {
+			corrupted[len(corrupted)/2] ^= 0xFF
+		}
+		return f.Conn.Write(corrupted)
+	default: // ModeCrash, ModeNoSpace: the connection dies here
+		if d.Torn && len(p) > 1 {
+			f.Conn.Write(p[:len(p)/2])
+		}
+		f.Conn.Close()
+		return 0, net.ErrClosed
+	}
+}

@@ -1,0 +1,435 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"boxes/internal/core"
+	"boxes/internal/faults"
+	"boxes/internal/order"
+	"boxes/internal/pager"
+)
+
+// testEnv is one served store: a durable group-committing W-BOX behind a
+// loopback listener.
+type testEnv struct {
+	t     *testing.T
+	path  string
+	fb    *pager.FileBackend
+	store *core.SyncStore
+	srv   *Server
+	addr  string
+	met   *Metrics
+	done  chan error
+}
+
+type envOptions struct {
+	queueDepth int
+	batchMax   int
+	wrapConn   func(net.Conn) net.Conn
+	crash      *pager.CrashController
+}
+
+func startEnv(t *testing.T, o envOptions) *testEnv {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "served.boxes")
+	fb, err := pager.CreateFileOpts(path, pager.FileOptions{
+		BlockSize: 512, NoSync: true, CrashControl: o.crash,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.Open(core.Options{
+		Scheme: core.SchemeWBox, BlockSize: 512,
+		Backend: fb, Durable: true,
+		Durability: &pager.Durability{Every: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := core.NewSyncStore(base)
+	met := NewMetrics()
+	srv, err := NewServer(Config{
+		Store: store, Metrics: met,
+		QueueDepth: o.queueDepth, BatchMax: o.batchMax,
+		WrapConn: o.wrapConn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &testEnv{
+		t: t, path: path, fb: fb, store: store, srv: srv,
+		addr: l.Addr().String(), met: met, done: make(chan error, 1),
+	}
+	go func() { env.done <- srv.Serve(l) }()
+	return env
+}
+
+// shutdown drains the server and closes the store, asserting both are
+// clean.
+func (e *testEnv) shutdown() {
+	e.t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := e.srv.Shutdown(ctx); err != nil {
+		e.t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-e.done; err != nil {
+		e.t.Fatalf("serve: %v", err)
+	}
+	if err := e.store.Close(); err != nil {
+		e.t.Fatalf("store close: %v", err)
+	}
+}
+
+func TestServeBasicOps(t *testing.T) {
+	env := startEnv(t, envOptions{})
+	ctx := context.Background()
+	c, err := Dial(env.addr, ClientOptions{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	root, err := c.InsertFirst(ctx)
+	if err != nil {
+		t.Fatalf("insert-first: %v", err)
+	}
+	a, err := c.Insert(ctx, root.End)
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	b, err := c.Insert(ctx, root.End)
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if cmp, err := c.Compare(ctx, a.Start, b.Start); err != nil || cmp != -1 {
+		t.Fatalf("compare(a,b) = %d, %v; want -1", cmp, err)
+	}
+	if cmp, err := c.Compare(ctx, b.Start, a.Start); err != nil || cmp != 1 {
+		t.Fatalf("compare(b,a) = %d, %v; want 1", cmp, err)
+	}
+	la, err := c.Lookup(ctx, a.Start)
+	if err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+	lb, err := c.Lookup(ctx, b.Start)
+	if err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+	if la >= lb {
+		t.Fatalf("labels out of order: %d >= %d", la, lb)
+	}
+	if err := c.DeleteElement(ctx, b); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := c.Lookup(ctx, b.Start); !errors.Is(err, order.ErrUnknownLID) {
+		t.Fatalf("lookup of deleted LID: %v; want ErrUnknownLID", err)
+	}
+
+	// A batch of writes is one atomic transaction with positional results.
+	res, err := c.Batch(ctx, []BatchOp{
+		{Op: OpInsert, LID: root.End},
+		{Op: OpInsert, LID: root.End},
+		{Op: OpDeleteElement, Elem: a},
+	})
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("batch results: %d; want 3", len(res))
+	}
+	if cmp, err := c.Compare(ctx, res[0].Elem.Start, res[1].Elem.Start); err != nil || cmp != -1 {
+		t.Fatalf("batch order: %d, %v", cmp, err)
+	}
+
+	// Server-side store agrees.
+	if n := env.store.Count(); n != 6 { // root + 2 batch inserts = 3 elements
+		t.Fatalf("store count %d; want 6 labels", n)
+	}
+	env.shutdown()
+}
+
+// A full admission queue sheds with a typed overload status instead of
+// queuing unboundedly; the shed is visible in metrics and to the client.
+func TestServeOverloadShed(t *testing.T) {
+	env := startEnv(t, envOptions{queueDepth: 1})
+	ctx := context.Background()
+	c, err := Dial(env.addr, ClientOptions{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	root, err := c.InsertFirst(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stall the committer so admitted writes pile up behind it.
+	env.fb.HoldGroupCommit(true)
+	type result struct{ err error }
+	results := make(chan result, 8)
+	noRetry := &faults.RetryPolicy{MaxAttempts: 1}
+	for i := 0; i < 8; i++ {
+		go func() {
+			cc, err := Dial(env.addr, ClientOptions{Timeout: 5 * time.Second, Retry: noRetry})
+			if err != nil {
+				results <- result{err}
+				return
+			}
+			defer cc.Close()
+			_, err = cc.Insert(context.Background(), root.End)
+			results <- result{err}
+		}()
+	}
+	var shed, ok int
+	deadline := time.After(8 * time.Second)
+	for i := 0; i < 8; i++ {
+		select {
+		case r := <-results:
+			if errors.Is(r.err, ErrOverload) {
+				shed++
+			} else if r.err == nil {
+				ok = ok + 1
+			} else {
+				t.Errorf("unexpected error: %v", r.err)
+			}
+			if shed > 0 && i < 7 {
+				// Once shed is observed, unblock the rest.
+				env.fb.HoldGroupCommit(false)
+			}
+		case <-deadline:
+			env.fb.HoldGroupCommit(false)
+			t.Fatalf("timed out; %d shed, %d ok so far", shed, ok)
+		}
+	}
+	env.fb.HoldGroupCommit(false)
+	if shed == 0 {
+		t.Fatal("no request was shed despite queue depth 1 and a held committer")
+	}
+	if got := env.met.Shed.Load(); got == 0 {
+		t.Fatal("shed metric not incremented")
+	}
+	env.shutdown()
+}
+
+// A deadline that expires while the request is queued cancels it before
+// any op runs; the op is not applied and the client sees the typed error.
+func TestServeDeadlineWhileQueued(t *testing.T) {
+	env := startEnv(t, envOptions{})
+	ctx := context.Background()
+	c, err := Dial(env.addr, ClientOptions{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	root, err := c.InsertFirst(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := env.store.Count()
+
+	// Occupy the batcher: one write blocks on the held committer, so the
+	// next one waits in the queue past its deadline.
+	env.fb.HoldGroupCommit(true)
+	blocker := make(chan error, 1)
+	go func() {
+		cc, err := Dial(env.addr, ClientOptions{Timeout: 10 * time.Second})
+		if err != nil {
+			blocker <- err
+			return
+		}
+		defer cc.Close()
+		_, err = cc.Insert(context.Background(), root.End)
+		blocker <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the blocker reach ApplyBatch
+
+	short, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	c2, err := Dial(env.addr, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	_, err = c2.Insert(short, root.End)
+	env.fb.HoldGroupCommit(false)
+	if !errors.Is(err, ErrDeadlineExpired) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued op past deadline: %v; want deadline error", err)
+	}
+	if berr := <-blocker; berr != nil {
+		t.Fatalf("blocker insert: %v", berr)
+	}
+	if env.met.Deadline.Load() == 0 && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("deadline metric not incremented")
+	}
+	if got := env.store.Count(); got != before+2 {
+		t.Fatalf("store count %d; want %d (only the blocker's insert applied)", got, before+2)
+	}
+	env.shutdown()
+}
+
+// Re-sending the same sequence number replays the cached response instead
+// of re-applying the op — the lost-ack recovery path.
+func TestServeSessionDedupReplay(t *testing.T) {
+	env := startEnv(t, envOptions{})
+	conn, err := net.Dial("tcp", env.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeClientHello(conn, clientHello{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readServerHello(conn); err != nil {
+		t.Fatal(err)
+	}
+	send := func(req *Request) *Response {
+		t.Helper()
+		if err := writeFrame(conn, encodeRequest(req)); err != nil {
+			t.Fatal(err)
+		}
+		payload, err := readFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := decodeResponse(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	r1 := send(&Request{Seq: 1, Op: OpInsertFirst})
+	if r1.Status != StatusOK {
+		t.Fatalf("insert-first: %s", r1.Msg)
+	}
+	count := env.store.Count()
+	// "Lost ack": the client re-sends seq 1. The server must replay, not
+	// re-apply.
+	r1b := send(&Request{Seq: 1, Op: OpInsertFirst})
+	if r1b.Status != StatusOK || r1b.Elem != r1.Elem {
+		t.Fatalf("replay mismatch: %+v vs %+v", r1b, r1)
+	}
+	if got := env.store.Count(); got != count {
+		t.Fatalf("replay re-applied the op: count %d -> %d", count, got)
+	}
+	// A stale (below high-water) seq is rejected, not silently applied.
+	r0 := send(&Request{Seq: 0, Op: OpLookup, LID: r1.Elem.Start})
+	if r0.Status != StatusOK {
+		t.Fatalf("unsequenced lookup: %s", r0.Msg)
+	}
+	env.shutdown()
+}
+
+// After Shutdown begins, idle connections are closed, new work is
+// rejected, and an op that was in flight when the drain started is still
+// acknowledged (and durable).
+func TestServeDrainFinishesInFlight(t *testing.T) {
+	env := startEnv(t, envOptions{})
+	ctx := context.Background()
+	c, err := Dial(env.addr, ClientOptions{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	root, err := c.InsertFirst(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park one write mid-commit, then drain around it.
+	env.fb.HoldGroupCommit(true)
+	inflight := make(chan error, 1)
+	go func() {
+		cc, err := Dial(env.addr, ClientOptions{Timeout: 10 * time.Second})
+		if err != nil {
+			inflight <- err
+			return
+		}
+		defer cc.Close()
+		_, err = cc.Insert(context.Background(), root.End)
+		inflight <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the insert reach the committer
+
+	shutCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	shutDone := make(chan error, 1)
+	go func() { shutDone <- env.srv.Shutdown(shutCtx) }()
+	time.Sleep(50 * time.Millisecond)
+	env.fb.HoldGroupCommit(false)
+
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight insert lost during drain: %v", err)
+	}
+	if err := <-shutDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The drained server rejects new work: the idle conn was closed and
+	// the listener no longer accepts.
+	if _, err := c.Lookup(ctx, root.Start); err == nil {
+		t.Fatal("lookup succeeded after drain completed")
+	}
+	if err := <-env.done; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if got := env.store.Count(); got != 4 {
+		t.Fatalf("store count %d; want 4 (root + drained insert)", got)
+	}
+	if err := env.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if env.met.DrainNanos.Load() <= 0 {
+		t.Fatal("drain duration not recorded")
+	}
+}
+
+// Corrupted frames are detected by CRC and drop the connection; the
+// client's retry loop reconnects and the session dedup keeps the op
+// exactly-once.
+func TestServeCorruptFrameDetected(t *testing.T) {
+	env := startEnv(t, envOptions{})
+	sched := faults.NewSchedule(42)
+	sched.FailEveryKth(3, faults.ModePermanent, faults.OpWrite)
+	dial := func() (net.Conn, error) {
+		conn, err := net.Dial("tcp", env.addr)
+		if err != nil {
+			return nil, err
+		}
+		return NewFaultConn(conn, sched), nil
+	}
+	c, err := Dial(env.addr, ClientOptions{Timeout: 5 * time.Second, Dial: dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	root, err := c.InsertFirst(ctx)
+	if err != nil {
+		t.Fatalf("insert-first through corrupting conn: %v", err)
+	}
+	var elems []order.ElemLIDs
+	for i := 0; i < 10; i++ {
+		e, err := c.Insert(ctx, root.End)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		elems = append(elems, e)
+	}
+	if env.met.BadFrames.Load() == 0 {
+		t.Fatal("no corrupt frame reached the server despite every-3rd-write corruption")
+	}
+	// Exactly-once despite retransmits: root + 10 elements.
+	if got := env.store.Count(); got != 22 {
+		t.Fatalf("store count %d; want 22 labels", got)
+	}
+	env.shutdown()
+}

@@ -8,13 +8,13 @@ import (
 	"boxes/internal/xmlgen"
 )
 
-// Doc adapts one order.Labeler to the zoo: it tracks the live elements in
-// start-tag document order (the coordinate system of Op.Pos) and
-// implements View over their current labels, so an adaptive Source can
-// attack the labeler directly.
+// Doc adapts one order.Labeler to the zoo: a Tracker keeps the live
+// elements in start-tag document order (the coordinate system of Op.Pos)
+// and Doc implements View over their current labels, so an adaptive
+// Source can attack the labeler directly.
 type Doc struct {
-	l     order.Labeler
-	elems []order.ElemLIDs // start-tag document order
+	l  order.Labeler
+	tr Tracker
 }
 
 // NewDoc wraps an empty labeler.
@@ -28,77 +28,66 @@ func (d *Doc) Load(tree *xmlgen.Tree) error {
 	if err != nil {
 		return err
 	}
-	d.elems = elems
+	d.tr.NoteLoad(elems)
 	return nil
 }
 
 // Len returns the number of live elements.
-func (d *Doc) Len() int { return len(d.elems) }
+func (d *Doc) Len() int { return d.tr.Len() }
 
 // Label returns the current label of the pos-th element's start tag.
 func (d *Doc) Label(pos int) (order.Label, error) {
-	return d.l.Lookup(d.elems[pos].Start)
+	return d.l.Lookup(d.tr.Elem(pos).Start)
 }
 
 // EndLabel returns the current label of the pos-th element's end tag.
 func (d *Doc) EndLabel(pos int) (order.Label, error) {
-	return d.l.Lookup(d.elems[pos].End)
+	return d.l.Lookup(d.tr.Elem(pos).End)
 }
 
 // Elems exposes the live elements in document order (the Doc's own
 // storage; callers must not modify it).
-func (d *Doc) Elems() []order.ElemLIDs { return d.elems }
+func (d *Doc) Elems() []order.ElemLIDs { return d.tr.Elems() }
 
 // Apply performs one positional operation. An Insert on an empty document
 // becomes the bootstrap insert; Pos is clamped into range so any source
 // output is applicable.
 func (d *Doc) Apply(op Op) error {
-	n := len(d.elems)
-	pos := op.Pos
-	if n > 0 {
-		pos %= n
-		if pos < 0 {
-			pos += n
-		}
-	}
+	pos := d.tr.Clamp(op.Pos)
 	switch op.Kind {
 	case Insert:
-		if n == 0 {
+		if d.tr.Len() == 0 {
 			e, err := d.l.InsertFirstElement()
 			if err != nil {
 				return fmt.Errorf("workload: bootstrap insert: %w", err)
 			}
-			d.elems = append(d.elems, e)
+			d.tr.NoteInsert(0, e)
 			return nil
 		}
-		e, err := d.l.InsertElementBefore(d.elems[pos].Start)
+		e, err := d.l.InsertElementBefore(d.tr.Elem(pos).Start)
 		if err != nil {
 			return fmt.Errorf("workload: insert before element %d: %w", pos, err)
 		}
-		// The new element's labels precede elems[pos].Start and follow
-		// every earlier start tag, so it occupies position pos.
-		d.elems = append(d.elems, order.ElemLIDs{})
-		copy(d.elems[pos+1:], d.elems[pos:])
-		d.elems[pos] = e
+		d.tr.NoteInsert(pos, e)
 		return nil
 	case Delete:
-		if n == 0 {
+		if d.tr.Len() == 0 {
 			return nil
 		}
-		e := d.elems[pos]
+		e := d.tr.Elem(pos)
 		if err := d.l.Delete(e.Start); err != nil {
 			return fmt.Errorf("workload: delete start of element %d: %w", pos, err)
 		}
 		if err := d.l.Delete(e.End); err != nil {
 			return fmt.Errorf("workload: delete end of element %d: %w", pos, err)
 		}
-		d.elems = append(d.elems[:pos], d.elems[pos+1:]...)
+		d.tr.NoteDelete(pos)
 		return nil
 	case Lookup:
-		if n == 0 {
+		if d.tr.Len() == 0 {
 			return nil
 		}
-		if _, err := d.l.Lookup(d.elems[pos].Start); err != nil && !errors.Is(err, order.ErrLabelOverflow) {
+		if _, err := d.l.Lookup(d.tr.Elem(pos).Start); err != nil && !errors.Is(err, order.ErrLabelOverflow) {
 			return fmt.Errorf("workload: lookup element %d: %w", pos, err)
 		}
 		return nil

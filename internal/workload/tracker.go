@@ -1,0 +1,66 @@
+package workload
+
+import "boxes/internal/order"
+
+// Tracker mirrors the live elements of a document in start-tag document
+// order — the coordinate system of Op.Pos — without holding the labeler
+// itself. Doc embeds one next to a local order.Labeler; a network client
+// keeps one beside its connection and splices it on each acknowledged
+// reply, so the same positional Sources drive a remote store with no
+// server-side cooperation. Position bookkeeping (clamping, which LID an
+// op targets, the splice after the op lands) lives here exactly once.
+//
+// A Tracker must only be updated with *acknowledged* operations: an
+// unacked op may or may not have happened, and guessing would desync the
+// mirror from the store.
+type Tracker struct {
+	elems []order.ElemLIDs // start-tag document order
+}
+
+// Len returns the number of live elements.
+func (t *Tracker) Len() int { return len(t.elems) }
+
+// Elems exposes the live elements in document order (the Tracker's own
+// storage; callers must not modify it).
+func (t *Tracker) Elems() []order.ElemLIDs { return t.elems }
+
+// Elem returns the element at pos (after Clamp).
+func (t *Tracker) Elem(pos int) order.ElemLIDs { return t.elems[pos] }
+
+// Clamp maps an arbitrary source-emitted position into [0, Len) by
+// modular wrap (mirroring how Ops are defined: any position is
+// applicable). On an empty document it returns 0.
+func (t *Tracker) Clamp(pos int) int {
+	n := len(t.elems)
+	if n == 0 {
+		return 0
+	}
+	pos %= n
+	if pos < 0 {
+		pos += n
+	}
+	return pos
+}
+
+// NoteLoad replaces the mirror wholesale after a bulk load (preorder
+// element order is start-tag document order).
+func (t *Tracker) NoteLoad(elems []order.ElemLIDs) { t.elems = elems }
+
+// NoteInsert splices e in at pos (already clamped): the new element's
+// labels precede the old occupant's start tag and follow every earlier
+// start tag, so it occupies position pos. On an empty document it is the
+// bootstrap element.
+func (t *Tracker) NoteInsert(pos int, e order.ElemLIDs) {
+	if len(t.elems) == 0 {
+		t.elems = append(t.elems, e)
+		return
+	}
+	t.elems = append(t.elems, order.ElemLIDs{})
+	copy(t.elems[pos+1:], t.elems[pos:])
+	t.elems[pos] = e
+}
+
+// NoteDelete splices out the element at pos (already clamped).
+func (t *Tracker) NoteDelete(pos int) {
+	t.elems = append(t.elems[:pos], t.elems[pos+1:]...)
+}
