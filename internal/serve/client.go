@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"time"
@@ -196,11 +197,20 @@ func (c *Client) attempt(ctx context.Context, req *Request) (*Response, error) {
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		conn.SetDeadline(dl)
-		remaining := time.Until(dl)
-		if remaining < 0 {
-			remaining = 0
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			// A sub-millisecond (or spent) budget must still ride the
+			// wire as a deadline — 0 means "none" to the server.
+			ms = 1
+		} else if ms > math.MaxUint32 {
+			ms = math.MaxUint32
 		}
-		req.DeadlineMS = uint32(remaining / time.Millisecond)
+		req.DeadlineMS = uint32(ms)
+	} else {
+		// Clear whatever deadline a previous call left on this conn, or
+		// an undeadlined call fails spuriously once it passes.
+		conn.SetDeadline(time.Time{})
+		req.DeadlineMS = 0
 	}
 	if err := writeFrame(conn, encodeRequest(req)); err != nil {
 		c.dropConn()

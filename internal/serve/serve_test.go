@@ -28,10 +28,11 @@ type testEnv struct {
 }
 
 type envOptions struct {
-	queueDepth int
-	batchMax   int
-	wrapConn   func(net.Conn) net.Conn
-	crash      *pager.CrashController
+	queueDepth  int
+	batchMax    int
+	maxSessions int
+	wrapConn    func(net.Conn) net.Conn
+	crash       *pager.CrashController
 }
 
 func startEnv(t *testing.T, o envOptions) *testEnv {
@@ -56,7 +57,8 @@ func startEnv(t *testing.T, o envOptions) *testEnv {
 	srv, err := NewServer(Config{
 		Store: store, Metrics: met,
 		QueueDepth: o.queueDepth, BatchMax: o.batchMax,
-		WrapConn: o.wrapConn,
+		MaxSessions: o.maxSessions,
+		WrapConn:    o.wrapConn,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -325,6 +327,261 @@ func TestServeSessionDedupReplay(t *testing.T) {
 	r0 := send(&Request{Seq: 0, Op: OpLookup, LID: r1.Elem.Start})
 	if r0.Status != StatusOK {
 		t.Fatalf("unsequenced lookup: %s", r0.Msg)
+	}
+	env.shutdown()
+}
+
+// rawConn is a handshaked protocol connection for tests that need to
+// control seqs and framing directly.
+type rawConn struct {
+	t    *testing.T
+	conn net.Conn
+	sess uint64
+}
+
+func dialRaw(t *testing.T, addr string, session uint64) *rawConn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeClientHello(conn, clientHello{Session: session}); err != nil {
+		t.Fatal(err)
+	}
+	hello, err := readServerHello(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rawConn{t: t, conn: conn, sess: hello.Session}
+}
+
+func (r *rawConn) send(req *Request) {
+	r.t.Helper()
+	if err := writeFrame(r.conn, encodeRequest(req)); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+func (r *rawConn) recv() *Response {
+	r.t.Helper()
+	payload, err := readFrame(r.conn)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	resp, err := decodeResponse(payload)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	return resp
+}
+
+func (r *rawConn) roundTrip(req *Request) *Response {
+	r.t.Helper()
+	r.send(req)
+	return r.recv()
+}
+
+// An overload rejection must NOT settle its seq in the dedup slot: the
+// client retries a shed request with the SAME seq after backoff, and that
+// retry has to re-execute once the queue drains — not replay the cached
+// StatusOverload forever.
+func TestServeOverloadRetrySameSeq(t *testing.T) {
+	env := startEnv(t, envOptions{queueDepth: 1})
+	a := dialRaw(t, env.addr, 0)
+	defer a.conn.Close()
+	b := dialRaw(t, env.addr, 0)
+	defer b.conn.Close()
+	c := dialRaw(t, env.addr, 0)
+	defer c.conn.Close()
+
+	rootResp := a.roundTrip(&Request{Seq: 1, Op: OpInsertFirst})
+	if rootResp.Status != StatusOK {
+		t.Fatalf("insert-first: %s", rootResp.Msg)
+	}
+	root := rootResp.Elem
+
+	// a's insert blocks in the held committer; b's fills the depth-1
+	// queue; c's is shed.
+	env.fb.HoldGroupCommit(true)
+	a.send(&Request{Seq: 2, Op: OpInsert, LID: root.End})
+	time.Sleep(100 * time.Millisecond) // batcher picks a's op up
+	b.send(&Request{Seq: 1, Op: OpInsert, LID: root.End})
+	time.Sleep(100 * time.Millisecond) // b's op reaches the queue
+	shed := c.roundTrip(&Request{Seq: 1, Op: OpInsert, LID: root.End})
+	if shed.Status != StatusOverload {
+		env.fb.HoldGroupCommit(false)
+		t.Fatalf("third insert status %s; want overload", statusName(shed.Status))
+	}
+
+	env.fb.HoldGroupCommit(false)
+	if ra := a.recv(); ra.Status != StatusOK {
+		t.Fatalf("first insert: %s", ra.Msg)
+	}
+	if rb := b.recv(); rb.Status != StatusOK {
+		t.Fatalf("second insert: %s", rb.Msg)
+	}
+	// The retry of the shed seq must execute fresh, not replay the shed.
+	retry := c.roundTrip(&Request{Seq: 1, Op: OpInsert, LID: root.End})
+	if retry.Status != StatusOK {
+		t.Fatalf("retry of shed seq: %s (%s); want OK", statusName(retry.Status), retry.Msg)
+	}
+	// And a re-send after the ack replays, proving the slot now holds it.
+	replay := c.roundTrip(&Request{Seq: 1, Op: OpInsert, LID: root.End})
+	if replay.Status != StatusOK || replay.Elem != retry.Elem {
+		t.Fatalf("replay after settle: %+v vs %+v", replay, retry)
+	}
+	env.shutdown()
+}
+
+// A retry racing its in-flight predecessor (original conn died with the
+// op queued, client reconnected and re-sent the seq) must adopt the
+// outstanding execution's result, not apply the op a second time.
+func TestServeInFlightRetryAdoptsResult(t *testing.T) {
+	env := startEnv(t, envOptions{})
+	a := dialRaw(t, env.addr, 0)
+	defer a.conn.Close()
+
+	env.fb.HoldGroupCommit(true)
+	a.send(&Request{Seq: 1, Op: OpInsertFirst})
+	time.Sleep(100 * time.Millisecond) // seq 1 is now executing (pending)
+
+	// Reconnect on the same session and re-send the in-flight seq.
+	b := dialRaw(t, env.addr, a.sess)
+	defer b.conn.Close()
+	if b.sess != a.sess {
+		t.Fatalf("session not resumed: %d vs %d", b.sess, a.sess)
+	}
+	b.send(&Request{Seq: 1, Op: OpInsertFirst})
+	time.Sleep(100 * time.Millisecond) // the retry reaches the pending-wait
+	env.fb.HoldGroupCommit(false)
+
+	ra := a.recv()
+	rb := b.recv()
+	if ra.Status != StatusOK || rb.Status != StatusOK {
+		t.Fatalf("statuses %s / %s; want OK / OK", statusName(ra.Status), statusName(rb.Status))
+	}
+	if ra.Elem != rb.Elem {
+		t.Fatalf("retry re-executed: %+v vs %+v", ra.Elem, rb.Elem)
+	}
+	if got := env.store.Count(); got != 2 {
+		t.Fatalf("store count %d; want 2 (op applied exactly once)", got)
+	}
+	env.shutdown()
+}
+
+// A server built without Metrics must not panic: every counter access
+// goes through the defaulted private bundle.
+func TestServeNilMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "unmetered.boxes")
+	fb, err := pager.CreateFileOpts(path, pager.FileOptions{BlockSize: 512, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.Open(core.Options{
+		Scheme: core.SchemeWBox, BlockSize: 512,
+		Backend: fb, Durable: true,
+		Durability: &pager.Durability{Every: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := core.NewSyncStore(base)
+	srv, err := NewServer(Config{Store: store}) // no Metrics
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	c, err := Dial(l.Addr().String(), ClientOptions{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	root, err := c.InsertFirst(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lookup(ctx, root.Start); err != nil {
+		t.Fatal(err)
+	}
+	shutCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The session table is bounded: short-lived clients churn through the
+// LRU instead of growing server state without limit.
+func TestServeSessionTableBounded(t *testing.T) {
+	env := startEnv(t, envOptions{maxSessions: 2})
+	for i := 0; i < 6; i++ {
+		c, err := Dial(env.addr, ClientOptions{Timeout: 5 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Lookup(context.Background(), 1); err == nil {
+			t.Fatal("lookup of unknown LID succeeded")
+		}
+		c.Close()
+	}
+	// Wait for the handlers to detach their sessions (releaseSession runs
+	// before the ConnsActive decrement in the handler's defer chain).
+	deadline := time.Now().Add(5 * time.Second)
+	for env.met.ConnsActive.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("connection handlers did not exit")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	env.srv.mu.Lock()
+	n := len(env.srv.sessions)
+	env.srv.mu.Unlock()
+	if n > 2 {
+		t.Fatalf("session table grew to %d despite MaxSessions 2", n)
+	}
+	if g := env.met.Sessions.Load(); g != int64(n) {
+		t.Fatalf("sessions gauge %d disagrees with table size %d", g, n)
+	}
+	env.shutdown()
+}
+
+// A call without a deadline must not inherit the conn deadline a previous
+// deadlined call set — it has to clear it, or the next op on the same
+// conn fails spuriously once the stale deadline passes.
+func TestClientClearsConnDeadline(t *testing.T) {
+	env := startEnv(t, envOptions{})
+	noRetry := &faults.RetryPolicy{MaxAttempts: 1}
+	c, err := Dial(env.addr, ClientOptions{Retry: noRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	root, err := c.InsertFirst(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	if _, err := c.Lookup(short, root.Start); err != nil {
+		t.Fatalf("deadlined lookup: %v", err)
+	}
+	cancel()
+	time.Sleep(600 * time.Millisecond) // the stale conn deadline passes
+	// MaxAttempts 1: a stale inherited deadline cannot hide behind a
+	// reconnect-and-retry.
+	if _, err := c.Lookup(context.Background(), root.Start); err != nil {
+		t.Fatalf("undeadlined lookup after stale deadline: %v", err)
 	}
 	env.shutdown()
 }

@@ -27,8 +27,13 @@ type Config struct {
 	// BatchMax caps how many queued write requests the batcher coalesces
 	// into one ApplyBatch transaction (one WAL commit). Default 32.
 	BatchMax int
+	// MaxSessions bounds the dedup session table: minting a session past
+	// the bound evicts the least-recently-detached idle session, so
+	// short-lived clients cannot grow server state without limit.
+	// Default 4096.
+	MaxSessions int
 	// Metrics receives the server's counters and phase histograms
-	// (optional; nil disables metering).
+	// (optional; nil gets a private bundle, so metering is always safe).
 	Metrics *Metrics
 	// WrapConn, when set, wraps every accepted connection — the hook the
 	// fault injector uses (see FaultConn). Applied after accept, before
@@ -70,11 +75,21 @@ type connState struct {
 // session is the dedup state enabling idempotent retries: one outstanding
 // op per session, identified by a strictly increasing seq. lastResp is
 // replayed verbatim when the client re-sends lastSeq after a lost ack.
+// pendingSeq/pendingDone cover the window while a seq is still executing:
+// a retry arriving on a fresh connection during that window (the original
+// conn died with the op in the admission queue) waits for the outcome
+// instead of re-executing it.
 type session struct {
-	id       uint64
-	mu       sync.Mutex
-	lastSeq  uint64
-	lastResp *Response
+	id          uint64
+	mu          sync.Mutex
+	lastSeq     uint64
+	lastResp    *Response
+	pendingSeq  uint64        // seq currently executing (0 = none)
+	pendingDone chan struct{} // closed when pendingSeq's execute returns
+
+	// Guarded by the server's mu, not sess.mu:
+	refs       int   // connections currently attached to this session
+	lastActive int64 // UnixNano of the last detach, orders LRU eviction
 }
 
 // writeReq is one write admitted to the queue. done is buffered so the
@@ -103,6 +118,14 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.BatchMax <= 0 {
 		cfg.BatchMax = 32
 	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 4096
+	}
+	if cfg.Metrics == nil {
+		// Callers that don't scrape metrics still hit the counters on
+		// every path; a private bundle keeps those accesses safe.
+		cfg.Metrics = NewMetrics()
+	}
 	s := &Server{
 		cfg:      cfg,
 		epoch:    uint64(time.Now().UnixNano()),
@@ -111,9 +134,7 @@ func NewServer(cfg Config) (*Server, error) {
 		conns:    make(map[net.Conn]*connState),
 		sessions: make(map[uint64]*session),
 	}
-	if cfg.Metrics != nil {
-		cfg.Metrics.queueDepth = func() int { return len(s.writeQ) }
-	}
+	cfg.Metrics.queueDepth = func() int { return len(s.writeQ) }
 	s.wgBatcher.Add(1)
 	go s.batcher()
 	return s, nil
@@ -174,20 +195,53 @@ func (s *Server) dropConn(conn net.Conn) {
 // getSession resolves the handshake's session claim: 0 mints a fresh
 // session; a known ID resumes it (the dedup path); an unknown non-zero ID
 // (e.g. from before a restart) also mints fresh — the old dedup state is
-// gone and the epoch change tells the client so.
+// gone and the epoch change tells the client so. The handler detaches via
+// releaseSession when its connection closes.
 func (s *Server) getSession(id uint64) *session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if id != 0 {
 		if sess, ok := s.sessions[id]; ok {
+			sess.refs++
 			return sess
 		}
 	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.evictSessionLocked()
+	}
 	s.nextSess++
-	sess := &session{id: s.nextSess}
+	sess := &session{id: s.nextSess, refs: 1}
 	s.sessions[sess.id] = sess
 	s.cfg.Metrics.Sessions.Add(1)
 	return sess
+}
+
+// evictSessionLocked drops the least-recently-detached session with no
+// attached connection. If every session is attached the table grows past
+// the bound rather than break a live session's dedup guarantee.
+func (s *Server) evictSessionLocked() {
+	var victim *session
+	for _, sess := range s.sessions {
+		if sess.refs > 0 {
+			continue
+		}
+		if victim == nil || sess.lastActive < victim.lastActive {
+			victim = sess
+		}
+	}
+	if victim != nil {
+		delete(s.sessions, victim.id)
+		s.cfg.Metrics.Sessions.Add(-1)
+	}
+}
+
+// releaseSession detaches one connection from sess, stamping the detach
+// time that orders LRU eviction.
+func (s *Server) releaseSession(sess *session) {
+	s.mu.Lock()
+	sess.refs--
+	sess.lastActive = time.Now().UnixNano()
+	s.mu.Unlock()
 }
 
 func (s *Server) handleConn(conn net.Conn, st *connState) {
@@ -201,6 +255,7 @@ func (s *Server) handleConn(conn net.Conn, st *connState) {
 		return
 	}
 	sess := s.getSession(hello.Session)
+	defer s.releaseSession(sess)
 	sess.mu.Lock()
 	known := sess.lastSeq
 	sess.mu.Unlock()
@@ -248,28 +303,70 @@ func (s *Server) handleConn(conn net.Conn, st *connState) {
 // write-through-queue, recording the session's last response on the way
 // out so a re-sent seq replays instead of re-applying.
 func (s *Server) dispatch(sess *session, req *Request) *Response {
-	sess.mu.Lock()
-	if req.Seq != 0 && req.Seq == sess.lastSeq && sess.lastResp != nil {
-		resp := sess.lastResp
-		sess.mu.Unlock()
-		return resp
+	var myDone chan struct{}
+	if req.Seq != 0 {
+		for {
+			sess.mu.Lock()
+			if req.Seq == sess.lastSeq && sess.lastResp != nil {
+				resp := sess.lastResp
+				sess.mu.Unlock()
+				return resp
+			}
+			if req.Seq < sess.lastSeq {
+				sess.mu.Unlock()
+				return &Response{Seq: req.Seq, Status: StatusBadRequest,
+					Msg: fmt.Sprintf("seq %d below session high-water %d", req.Seq, sess.lastSeq)}
+			}
+			if sess.pendingSeq == req.Seq {
+				// The seq is executing on another connection: the original
+				// conn died with the op still queued and the client
+				// reconnected and re-sent. Adopt that execution's outcome —
+				// running it again here would double-apply the write.
+				wait := sess.pendingDone
+				sess.mu.Unlock()
+				<-wait
+				continue // replay from lastResp, or re-execute if it was shed
+			}
+			myDone = make(chan struct{})
+			sess.pendingSeq = req.Seq
+			sess.pendingDone = myDone
+			sess.mu.Unlock()
+			break
+		}
 	}
-	if req.Seq != 0 && req.Seq < sess.lastSeq {
-		sess.mu.Unlock()
-		return &Response{Seq: req.Seq, Status: StatusBadRequest,
-			Msg: fmt.Sprintf("seq %d below session high-water %d", req.Seq, sess.lastSeq)}
-	}
-	sess.mu.Unlock()
 
 	resp := s.execute(req)
 
-	sess.mu.Lock()
-	if req.Seq != 0 && req.Seq > sess.lastSeq {
-		sess.lastSeq = req.Seq
-		sess.lastResp = resp
+	if req.Seq != 0 {
+		sess.mu.Lock()
+		// Not-applied rejections (shed, queued-deadline, draining) must
+		// stay OUT of the dedup slot: the client retries them with the
+		// SAME seq, and a recorded rejection would replay forever even
+		// after the queue drained.
+		if req.Seq > sess.lastSeq && seqSettled(resp.Status) {
+			sess.lastSeq = req.Seq
+			sess.lastResp = resp
+		}
+		if sess.pendingDone == myDone {
+			sess.pendingSeq = 0
+			sess.pendingDone = nil
+		}
+		sess.mu.Unlock()
+		close(myDone)
 	}
-	sess.mu.Unlock()
 	return resp
+}
+
+// seqSettled reports whether a response settles its sequence number: the
+// op was applied (OK) or failed definitively. Overload, queued-deadline,
+// and draining rejections left the op un-applied, and the client re-sends
+// the same seq expecting a fresh execution.
+func seqSettled(status uint8) bool {
+	switch status {
+	case StatusOverload, StatusDeadline, StatusDraining:
+		return false
+	}
+	return true
 }
 
 func (s *Server) execute(req *Request) *Response {
